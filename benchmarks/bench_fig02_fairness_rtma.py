@@ -1,0 +1,27 @@
+"""Fig. 2 bench: fairness CDF, RTMA vs default.
+
+Shape assertions: the default's per-slot Jain index collapses under
+contention (below 0.2 for a large share of slots) while RTMA's is
+higher in the mean and never that degenerate; loosening the energy
+budget (alpha = 1.2) recovers more fairness still.
+"""
+
+from repro.experiments import fig02_fairness_rtma
+
+from conftest import run_once
+
+
+def test_fig02_fairness(benchmark, bench_scale):
+    result = run_once(benchmark, fig02_fairness_rtma.run, scale=bench_scale)
+    default = result.data["default"]
+    rtma = result.data["rtma"]
+    rtma12 = result.data["rtma (a=1.2)"]
+
+    # Paper: default below 0.2 for ~50% of slots.
+    assert default["lt_02"] > 0.4
+    # RTMA strictly fairer in the mean, and never as degenerate.
+    assert rtma["mean"] > default["mean"] + 0.2
+    assert rtma["lt_02"] < 0.1
+    # A looser energy budget buys more fairness (Fig. 4 direction).
+    assert rtma12["mean"] >= rtma["mean"]
+    assert rtma12["gt_07"] >= rtma["gt_07"]

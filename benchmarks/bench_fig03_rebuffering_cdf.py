@@ -1,0 +1,26 @@
+"""Fig. 3 bench: rebuffering-time CDF, RTMA vs default.
+
+Shape assertions: the default's per-user total rebuffering is heavy
+and spread out (a large fraction past the paper's 11 s marker); RTMA
+shifts the whole CDF left.
+"""
+
+from repro.experiments import fig03_rebuffering_cdf
+
+from conftest import run_once
+
+
+def test_fig03_rebuffering(benchmark, bench_scale):
+    result = run_once(benchmark, fig03_rebuffering_cdf.run, scale=bench_scale)
+    default = result.data["default"]
+    rtma = result.data["rtma"]
+    rtma12 = result.data["rtma (a=1.2)"]
+
+    # Paper: >20% of default users stall for more than 11 s total.
+    assert default["frac_above_11s"] > 0.2
+    # RTMA reduces mean total rebuffering substantially even at the
+    # binding alpha=1 budget, and further with alpha=1.2.
+    assert rtma["mean_total_s"] < default["mean_total_s"]
+    assert rtma12["mean_total_s"] < default["mean_total_s"] * 0.6
+    assert rtma["frac_above_11s"] < default["frac_above_11s"]
+    assert result.data["reduction"] > 0.2

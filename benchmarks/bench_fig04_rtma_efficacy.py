@@ -1,0 +1,29 @@
+"""Fig. 4 bench: RTMA efficacy across user counts and data amounts.
+
+Shape assertions: rebuffering grows with load on the default; RTMA
+with a loose budget (alpha = 1.2) beats the default at every point,
+and a looser budget never does worse than a tighter one on average.
+"""
+
+import numpy as np
+
+from repro.experiments import fig04_rtma_efficacy
+
+from conftest import run_once
+
+
+def test_fig04_alpha_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, fig04_rtma_efficacy.run, scale=bench_scale)
+    for axis in ("by_users", "by_size"):
+        series = result.data[axis]
+        default = np.array(series["default"])
+        loose = np.array(series["alpha=1.2"])
+        tight = np.array(series["alpha=0.8"])
+        # The loose-budget RTMA beats the default everywhere.
+        assert (loose < default).all(), axis
+        # Budget monotonicity in the mean: more energy, less stalling.
+        assert loose.mean() <= tight.mean() + 1e-9, axis
+
+    # Load monotonicity on the default: more users, more rebuffering.
+    by_users = result.data["by_users"]
+    assert by_users["default"][-1] > by_users["default"][0]

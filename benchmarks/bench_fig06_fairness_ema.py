@@ -1,0 +1,20 @@
+"""Fig. 6 bench: fairness CDF, EMA vs default.
+
+Shape assertions: on the windowed horizon (where the virtual queues
+equalise users) EMA is fairer than the default; per-slot EMA is at
+least not degenerate-unfair relative to the default.
+"""
+
+from repro.experiments import fig06_fairness_ema
+
+from conftest import run_once
+
+
+def test_fig06_fairness(benchmark, bench_scale):
+    result = run_once(benchmark, fig06_fairness_ema.run, scale=bench_scale)
+    default = result.data["default"]
+    ema = result.data["ema"]
+
+    # Windowed shares: EMA's negative-queue mechanism equalises users.
+    assert ema["mean_windowed"] > default["mean_windowed"]
+    assert ema["win_gt07"] >= default["win_gt07"]

@@ -1,0 +1,19 @@
+"""Fig. 7 bench: per-slot aggregate power CDF, EMA vs default.
+
+Shape assertion: EMA's per-slot power distribution sits left of the
+default's (median and mean), the paper's "about 50% of EMA's slots
+below 25 J" statement translated to a relative claim.
+"""
+
+from repro.experiments import fig07_power_cdf
+
+from conftest import run_once
+
+
+def test_fig07_power(benchmark, bench_scale):
+    result = run_once(benchmark, fig07_power_cdf.run, scale=bench_scale)
+    default = result.data["default"]
+    ema = result.data["ema"]
+
+    assert ema["median_j"] < default["median_j"]
+    assert ema["mean_j"] < default["mean_j"]

@@ -1,0 +1,28 @@
+"""Fig. 8 bench: EMA energy across user counts and data amounts,
+beta in {0.8, 1.0, 1.2}.
+
+Shape assertions: EMA (beta = 1) saves substantial energy vs the
+default at every sweep point (paper: > 48%); a looser rebuffering
+bound saves at least as much on average.
+"""
+
+import numpy as np
+
+from repro.experiments import fig08_ema_efficacy
+
+from conftest import run_once
+
+
+def test_fig08_beta_sweep(benchmark, bench_scale):
+    result = run_once(benchmark, fig08_ema_efficacy.run, scale=bench_scale)
+    for axis in ("by_users", "by_size"):
+        series = result.data[axis]
+        default = np.array(series["default"])
+        beta1 = np.array(series["beta=1.0"])
+        loose = np.array(series["beta=1.2"])
+        # EMA at beta=1 saves energy everywhere; >= 30% at bench scale
+        # (paper: >= 48% at full scale).
+        assert (beta1 < default).all(), axis
+        assert (beta1 < 0.7 * default).all(), axis
+        # Looser bound, at least as much saving on average.
+        assert loose.mean() <= beta1.mean() * 1.05, axis

@@ -1,0 +1,28 @@
+"""Fig. 9 bench: EMA vs SALSA / EStreamer / Default.
+
+Shape assertions at the most contended sweep point: EMA has the
+lowest energy of the four (paper: >= 48% vs SALSA/default, >= 27% vs
+EStreamer); EStreamer's rebuffering stays small (its bursts are sized
+to the buffer), SALSA's deferral costs rebuffering.
+"""
+
+from repro.experiments import fig09_ema_comparison
+
+from conftest import run_once
+
+
+def test_fig09_comparison(benchmark, bench_scale):
+    result = run_once(benchmark, fig09_ema_comparison.run, scale=bench_scale)
+    pe = result.data["pe"]
+    pc = result.data["pc"]
+
+    # Energy ordering at 40 users (last sweep point).
+    assert pe["ema"][-1] < pe["default"][-1]
+    assert pe["ema"][-1] < pe["salsa"][-1]
+    assert pe["ema"][-1] < pe["estreamer"][-1]
+    # Meaningful margins (bench-scale floor of the paper's 48%/27%).
+    assert pe["ema"][-1] < 0.75 * pe["default"][-1]
+    assert pe["ema"][-1] < 0.85 * pe["estreamer"][-1]
+
+    # SALSA defers: its rebuffering exceeds EStreamer's.
+    assert pc["salsa"][-1] > pc["estreamer"][-1]

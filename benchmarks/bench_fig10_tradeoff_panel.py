@@ -1,0 +1,26 @@
+"""Fig. 10 bench: the rebuffering-energy trade-off panel.
+
+Shape assertions: relative to the default's (energy, rebuffering)
+point at each user count, RTMA moves down the *rebuffering* axis
+and EMA moves down the *energy* axis — the two complementary drifts
+of the paper's panel.
+"""
+
+from repro.experiments import fig10_tradeoff_panel
+
+from conftest import run_once
+
+
+def test_fig10_tradeoff(benchmark, bench_scale):
+    result = run_once(benchmark, fig10_tradeoff_panel.run, scale=bench_scale)
+    points = result.data["points"]
+
+    for (pe_d, pc_d), (pe_r, pc_r), (pe_e, pc_e) in zip(
+        points["default"], points["rtma"], points["ema"]
+    ):
+        # RTMA: less rebuffering than the default at comparable energy.
+        assert pc_r < pc_d
+        assert pe_r < 1.5 * pe_d
+        # EMA: less energy than the default at comparable rebuffering.
+        assert pe_e < pe_d
+        assert pc_e < max(2.5 * pc_d, pc_d + 0.02)

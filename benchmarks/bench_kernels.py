@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the hot kernels.
+
+These are proper repeated-timing benchmarks (unlike the one-shot
+figure reproductions): the per-slot cost of each scheduler's allocate,
+the RRC fleet step, and a full engine slot.  They guard the
+performance envelope that makes the full-scale (Gamma = 10000)
+experiments tractable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import DefaultScheduler
+from repro.core.ema import EMAScheduler, trailing_window_min
+from repro.core.rtma import RTMAScheduler
+from repro.net.gateway import SlotObservation
+from repro.radio.rrc import RRCFleet
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+
+
+def paper_slot_observation(n_users=40, budget=512, seed=0) -> SlotObservation:
+    rng = np.random.default_rng(seed)
+    sig = rng.uniform(-110, -50, n_users)
+    return SlotObservation(
+        slot=0,
+        tau_s=1.0,
+        delta_kb=40.0,
+        capacity_kbps=budget * 40.0,
+        unit_budget=budget,
+        sig_dbm=sig,
+        rate_kbps=rng.uniform(300, 600, n_users),
+        link_units=np.floor((65.8 * sig + 7567.0) / 40.0).astype(np.int64),
+        p_mj_per_kb=-0.167 + 1560.0 / (65.8 * sig + 7567.0),
+        active=np.ones(n_users, dtype=bool),
+        buffer_s=rng.uniform(0, 60, n_users),
+        remaining_kb=rng.uniform(1e5, 5e5, n_users),
+        idle_tail_cost_mj=rng.uniform(0, 733, n_users),
+        receivable_kb=rng.uniform(1e3, 3e4, n_users),
+    )
+
+
+def test_rtma_allocate_slot(benchmark):
+    obs = paper_slot_observation()
+    sched = RTMAScheduler(sig_threshold_dbm=-100.0)
+    phi = benchmark(sched.allocate, obs)
+    assert phi.sum() > 0
+
+
+def test_ema_allocate_slot(benchmark):
+    obs = paper_slot_observation()
+    sched = EMAScheduler(40, v_param=0.1)
+    sched.allocate(obs)  # seed queues outside the timer
+    sched.queues.values = np.random.default_rng(1).normal(0, 10, 40)
+    phi = benchmark(sched.allocate, obs)
+    assert phi.shape == (40,)
+
+
+def test_default_allocate_slot(benchmark):
+    obs = paper_slot_observation()
+    sched = DefaultScheduler()
+    phi = benchmark(sched.allocate, obs)
+    assert phi.sum() > 0
+
+
+def test_trailing_window_min_kernel(benchmark):
+    values = np.random.default_rng(0).normal(size=513)
+    out = benchmark(trailing_window_min, values, 107)
+    assert out.shape == values.shape
+
+
+def test_rrc_fleet_step(benchmark):
+    fleet = RRCFleet(40)
+    tx = np.random.default_rng(0).random(40) < 0.5
+
+    def step():
+        return fleet.step(tx, 1.0)
+
+    tail = benchmark(step)
+    assert tail.shape == (40,)
+
+
+@pytest.mark.parametrize("sched_name", ["default", "rtma", "ema"])
+def test_engine_100_slots(benchmark, sched_name):
+    cfg = SimConfig(
+        n_users=20,
+        n_slots=100,
+        video_size_range_kb=(50_000.0, 100_000.0),
+        buffer_capacity_s=60.0,
+        seed=1,
+    )
+    factories = {
+        "default": lambda: DefaultScheduler(),
+        "rtma": lambda: RTMAScheduler(),
+        "ema": lambda: EMAScheduler(20, v_param=0.1),
+    }
+
+    def run():
+        return Simulation(cfg, factories[sched_name]()).run()
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.delivered_kb.sum() > 0

@@ -1,0 +1,22 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Each ``bench_figNN`` module regenerates one paper figure at bench
+scale inside the benchmark timer (one round — these are end-to-end
+reproductions, not micro-benchmarks) and then asserts the figure's
+*shape*: who wins, in which direction, and roughly by how much.
+Micro-benchmarks of the hot kernels live in ``bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_scale() -> str:
+    return "bench"

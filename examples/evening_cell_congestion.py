@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scenario: evening congestion at one base station.
+
+The intro's motivating workload: a cell fills up over half an hour as
+commuters start streaming — sessions arrive staggered, background
+(non-video) traffic eats part of the downlink, and the operator wants
+smooth playback (RTM mode).  We compare the unmanaged default against
+RTMA with a calibrated alpha = 1 energy budget and print both the
+aggregate metrics and the experience of the worst-served viewers.
+
+Run:  python examples/evening_cell_congestion.py
+"""
+
+import numpy as np
+
+from repro import DefaultScheduler, SimConfig, generate_workload, run_scheduler
+from repro.analysis.tables import Table
+from repro.net.slicing import PoissonBackground
+from repro.sim.runner import calibrate_rtma_threshold
+from repro.core.rtma import RTMAScheduler
+
+
+def main() -> None:
+    n_users = 24
+    n_slots = 900
+    cfg = SimConfig(
+        n_users=n_users,
+        n_slots=n_slots,
+        capacity_kbps=10 * 1024.0,
+        video_size_range_kb=(80_000.0, 160_000.0),
+        vbr_segments=30,
+        buffer_capacity_s=60.0,
+        background=PoissonBackground(
+            mean_flows=4.0, per_flow_kbps=300.0, horizon_slots=n_slots, rng=3
+        ),
+        seed=21,
+    )
+
+    # Stagger arrivals: a new viewer joins every ~20 s.
+    workload = generate_workload(cfg)
+    rng = np.random.default_rng(5)
+    for i, flow in enumerate(workload.flows):
+        flow.arrival_slot = int(i * 20 + rng.integers(0, 10))
+
+    default = run_scheduler(cfg, DefaultScheduler(), workload)
+    # RTM mode with a 20% energy headroom over the unmanaged default.
+    threshold = calibrate_rtma_threshold(
+        cfg, alpha=1.2, workload=workload, iterations=6, calibration_slots=400
+    )
+    rtma = run_scheduler(cfg, RTMAScheduler(sig_threshold_dbm=threshold), workload)
+
+    table = Table(
+        ["scheduler", "avg rebuf (s/slot)", "avg energy (mJ)", "worst viewer (s)", "p90 viewer (s)"],
+        formats=[None, ".4f", ".1f", ".1f", ".1f"],
+        title="Evening congestion, staggered arrivals + background load",
+    )
+    for name, res in (("default", default), ("rtma (a=1.2)", rtma)):
+        totals = res.per_user_total_rebuffering_s()
+        table.add_row(
+            [
+                name,
+                res.pc_session_s,
+                res.pe_session_mj,
+                float(totals.max()),
+                float(np.quantile(totals, 0.9)),
+            ]
+        )
+    print(table.render())
+    print(f"\n(RTMA signal threshold calibrated to {threshold:.1f} dBm)")
+
+    worst_default = default.per_user_total_rebuffering_s().argmax()
+    print(
+        f"Default's worst viewer is user {worst_default} "
+        f"(arrived at slot {workload.flows[worst_default].arrival_slot}): "
+        "late arrivals starve behind the head-of-line refills."
+    )
+
+
+if __name__ == "__main__":
+    main()

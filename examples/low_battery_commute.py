@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: low-battery commuters — the EM (energy minimization) mode.
+
+A train of commuters streams through alternating good/bad coverage
+(fast signal swings as the train moves).  Their batteries matter more
+than a few hundred milliseconds of buffering, so the operator flips
+the gateway into EM mode: EMA with V calibrated so rebuffering stays
+within beta = 1.2x of the default strategy's.
+
+The script prints the energy bill under four policies and translates
+EMA's savings into streaming-hours of a typical phone battery.
+
+Run:  python examples/low_battery_commute.py
+"""
+
+from repro import (
+    DefaultScheduler,
+    EMAScheduler,
+    EStreamerScheduler,
+    SalsaScheduler,
+    SimConfig,
+    compare_schedulers,
+    generate_workload,
+)
+from repro.analysis.tables import Table
+from repro.radio.signal import RandomWalkSignalModel
+from repro.sim.runner import calibrate_ema_v_to_reference
+
+#: A common smartphone battery: 3.85 V x 3000 mAh in millijoules.
+BATTERY_MJ = 3.85 * 3000 * 3.6 * 1000
+
+
+def main() -> None:
+    cfg = SimConfig(
+        n_users=16,
+        n_slots=900,
+        capacity_kbps=8 * 1024.0,
+        video_size_range_kb=(80_000.0, 160_000.0),
+        vbr_segments=30,
+        buffer_capacity_s=60.0,
+        signal_model=RandomWalkSignalModel(alpha=0.9, sigma_dbm=8.0),
+        seed=33,
+    )
+    wl = generate_workload(cfg)
+
+    v = calibrate_ema_v_to_reference(
+        cfg, DefaultScheduler, beta=1.2, workload=wl,
+        iterations=8, calibration_slots=400,
+    )
+    print(f"EM mode: calibrated V = {v:.4g} (beta = 1.2)\n")
+
+    results = compare_schedulers(
+        cfg,
+        {
+            "default": DefaultScheduler(),
+            "salsa": SalsaScheduler(),
+            "estreamer": EStreamerScheduler(),
+            "ema": EMAScheduler(cfg.n_users, v_param=v),
+        },
+        workload=wl,
+    )
+
+    table = Table(
+        ["scheduler", "energy (mJ/slot)", "tail share", "rebuf (s/slot)", "battery-hours"],
+        formats=[None, ".1f", ".0%", ".4f", ".1f"],
+        title="EM mode on a commuter cell (random-walk signal)",
+    )
+    for name, res in results.items():
+        s = res.summary()
+        hours = BATTERY_MJ / (s.pe_session_mj * 3600.0)
+        table.add_row(
+            [
+                name,
+                s.pe_session_mj,
+                s.pe_tail_mj / max(s.pe_mj, 1e-9),
+                s.pc_session_s,
+                hours,
+            ]
+        )
+    print(table.render())
+
+    saving = 1 - results["ema"].pe_session_mj / results["default"].pe_session_mj
+    print(f"\nEMA cuts radio energy by {saving:.0%} at a bounded rebuffering cost.")
+
+
+if __name__ == "__main__":
+    main()

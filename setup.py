@@ -1,0 +1,7 @@
+"""Setup shim for legacy editable installs (offline environments whose
+setuptools predates PEP 660 wheel-less editables).  All metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Analysis utilities: CDFs, summary statistics, text tables."""
+
+from repro.analysis.cdf import cdf_at, quantile, tail_fraction
+from repro.analysis.stats import bootstrap_ci, mean_confidence_interval, relative_reduction
+from repro.analysis.tables import Table
+
+__all__ = [
+    "cdf_at",
+    "quantile",
+    "tail_fraction",
+    "mean_confidence_interval",
+    "bootstrap_ci",
+    "relative_reduction",
+    "Table",
+]

@@ -1,0 +1,42 @@
+"""Empirical-CDF query helpers used by the figure reproductions.
+
+The paper's figures make claims of the form "the fairness index of
+RTMA is larger than 0.7 for more than 90% of time slots" — i.e.
+statements about empirical CDF evaluations.  These helpers turn raw
+samples into exactly those quantities so the benches can assert them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["cdf_at", "tail_fraction", "quantile"]
+
+
+def _clean(samples) -> np.ndarray:
+    x = np.asarray(samples, dtype=float).ravel()
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        raise ConfigurationError("no finite samples")
+    return x
+
+
+def cdf_at(samples, value: float) -> float:
+    """``P(X <= value)`` under the empirical distribution."""
+    x = _clean(samples)
+    return float((x <= value).mean())
+
+
+def tail_fraction(samples, threshold: float) -> float:
+    """``P(X > threshold)`` — e.g. 'fraction of slots with fairness > 0.7'."""
+    x = _clean(samples)
+    return float((x > threshold).mean())
+
+
+def quantile(samples, q: float) -> float:
+    """The ``q``-quantile of the samples (``0 <= q <= 1``)."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("q must be in [0, 1]")
+    return float(np.quantile(_clean(samples), q))

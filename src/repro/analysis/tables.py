@@ -1,0 +1,86 @@
+"""Plain-text result tables.
+
+Every experiment module renders its output through :class:`Table` so
+the console output, EXPERIMENTS.md, and the bench logs all share one
+format.  Cells are formatted per-column; alignment is computed from
+rendered widths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A small fixed-schema text table.
+
+    >>> t = Table(["scheduler", "PC (s)"], formats=[None, ".3f"])
+    >>> t.add_row(["rtma", 0.0123])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        formats: Sequence[str | None] | None = None,
+        title: str | None = None,
+    ):
+        if not columns:
+            raise ConfigurationError("need at least one column")
+        self.columns = [str(c) for c in columns]
+        if formats is None:
+            formats = [None] * len(self.columns)
+        if len(formats) != len(self.columns):
+            raise ConfigurationError("formats length must match columns")
+        self.formats = list(formats)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        rendered = []
+        for value, fmt in zip(values, self.formats):
+            if fmt is None or isinstance(value, str):
+                rendered.append(str(value))
+            else:
+                rendered.append(format(value, fmt))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.columns))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        parts = []
+        if self.title:
+            parts.append(f"**{self.title}**")
+            parts.append("")
+        parts.extend([header, sep, *body])
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return self.render()

@@ -1,0 +1,76 @@
+"""Paper-wide constants and unit conventions.
+
+Unit conventions used consistently across the library
+-----------------------------------------------------
+
+==============  ===========================================
+Quantity        Unit
+==============  ===========================================
+time            seconds (``s``)
+data            kilobytes (``KB``; the paper's fits use KB)
+rate            kilobytes per second (``KB/s``)
+energy          millijoules (``mJ``)
+power           milliwatts (``mW`` = ``mJ/s``)
+signal          dBm (negative values, e.g. ``-80.0``)
+==============  ===========================================
+
+The numeric values below are the paper's evaluation defaults
+(Section VI) and the fitted model constants of Eq. (24), which
+originate from the EnVi measurements [28] and the PerES 3G RRC
+parameters [29].
+"""
+
+from __future__ import annotations
+
+# --- Slotting (paper Section VI) -------------------------------------
+#: Default slot length tau, seconds.
+DEFAULT_TAU_S: float = 1.0
+#: Default number of scheduling slots Gamma in the paper's runs.
+DEFAULT_N_SLOTS: int = 10_000
+
+# --- Throughput fit v(sig) = A * sig + B, KB/s  (Eq. 24) --------------
+THROUGHPUT_SLOPE_KBPS_PER_DBM: float = 65.8
+THROUGHPUT_INTERCEPT_KBPS: float = 7567.0
+
+# --- Power fit P(sig) = C0 + C1 / v(sig), mJ/KB  (Eq. 24) -------------
+POWER_OFFSET_MJ_PER_KB: float = -0.167
+POWER_SCALE_MW: float = 1560.0
+
+# --- 3G RRC parameters (PerES [29], paper Section VI) -----------------
+#: CELL_DCH instantaneous power, mW.
+POWER_DCH_MW: float = 732.83
+#: CELL_FACH instantaneous power, mW.
+POWER_FACH_MW: float = 388.88
+#: DCH -> FACH demotion timer T1, seconds.
+TIMER_T1_S: float = 3.29
+#: FACH -> IDLE demotion timer T2, seconds.
+TIMER_T2_S: float = 4.02
+
+# --- Signal trace (paper Section VI) ----------------------------------
+SIGNAL_MAX_DBM: float = -50.0
+SIGNAL_MIN_DBM: float = -110.0
+#: White Gaussian noise intensity added to the sinusoidal trace, dBm.
+SIGNAL_NOISE_STD_DBM: float = 30.0
+
+# --- Workload (paper Section VI) --------------------------------------
+#: Video length range, KB (250 MB .. 500 MB; 1 MB = 1024 KB).
+VIDEO_SIZE_MIN_KB: float = 250.0 * 1024.0
+VIDEO_SIZE_MAX_KB: float = 500.0 * 1024.0
+#: Required data rate range, KB/s.
+DATA_RATE_MIN_KBPS: float = 300.0
+DATA_RATE_MAX_KBPS: float = 600.0
+#: Base-station serving capacity S, KB/s (20 MB/s).
+BS_CAPACITY_KBPS: float = 20.0 * 1024.0
+#: Default evaluation user count.
+DEFAULT_N_USERS: int = 40
+
+# --- Discretisation ----------------------------------------------------
+#: Default physical-layer frame (data unit) size delta, KB.  The paper
+#: leaves delta implicit; 40 KB yields floor(tau*S/delta) = 512 units
+#: per slot at the default capacity, which keeps the EMA dynamic
+#: program exact yet tractable (see DESIGN.md, ablation bench).
+DEFAULT_DELTA_KB: float = 40.0
+
+#: Signal strength below which the linear throughput fit reaches zero;
+#: v(sig) = 0 at sig = -B/A ~= -115.0 dBm.
+SIGNAL_CUTOFF_DBM: float = -THROUGHPUT_INTERCEPT_KBPS / THROUGHPUT_SLOPE_KBPS_PER_DBM

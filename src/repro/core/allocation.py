@@ -1,0 +1,85 @@
+"""Allocation validation and repair for constraints (1) and (2).
+
+The engine validates every scheduler's output with
+:func:`check_constraints` (raising
+:class:`~repro.errors.ConstraintViolationError` on any violation) so a
+buggy policy fails loudly instead of silently inflating its results.
+:func:`clip_to_constraints` is the lenient variant used by baseline
+implementations that compute a *desired* allocation first and then fit
+it to the physical limits in user order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConstraintViolationError
+from repro.net.gateway import SlotObservation
+
+__all__ = ["check_constraints", "clip_to_constraints"]
+
+
+def check_constraints(phi: np.ndarray, obs: SlotObservation) -> None:
+    """Raise unless ``phi`` satisfies Eqs. (1)-(2) and activity masking.
+
+    Checks, in order:
+
+    * shape and integrality (non-negative integers);
+    * per-user link cap ``phi_i <= floor(tau * v(sig_i) / delta)``;
+    * BS budget ``sum(phi) <= floor(tau * S(n) / delta)``;
+    * inactive users receive nothing.
+    """
+    phi = np.asarray(phi)
+    if phi.shape != (obs.n_users,):
+        raise ConstraintViolationError(
+            f"allocation shape {phi.shape} != ({obs.n_users},)", obs.slot
+        )
+    if not np.issubdtype(phi.dtype, np.integer):
+        raise ConstraintViolationError(
+            f"allocation dtype {phi.dtype} is not integral", obs.slot
+        )
+    if np.any(phi < 0):
+        raise ConstraintViolationError("negative allocation", obs.slot)
+    over = phi > obs.link_units
+    if np.any(over):
+        i = int(np.argmax(over))
+        raise ConstraintViolationError(
+            f"user {i}: phi={int(phi[i])} exceeds link cap {int(obs.link_units[i])} "
+            f"(Eq. 1)",
+            obs.slot,
+        )
+    total = int(phi.sum())
+    if total > obs.unit_budget:
+        raise ConstraintViolationError(
+            f"total {total} units exceeds BS budget {obs.unit_budget} (Eq. 2)",
+            obs.slot,
+        )
+    bad = phi[~obs.active]
+    if bad.size and np.any(bad > 0):
+        raise ConstraintViolationError("allocation to inactive user", obs.slot)
+
+
+def clip_to_constraints(desired: np.ndarray, obs: SlotObservation) -> np.ndarray:
+    """Fit a desired (possibly fractional/overcommitted) allocation to
+    constraints (1)-(2).
+
+    Per-user caps are applied first; then the BS budget is granted in
+    ascending user-index order (first-come-first-served), which models
+    the naive head-of-line behaviour the paper's *default* strategy
+    exhibits and that RTMA's round-based allocation deliberately avoids.
+    """
+    want = np.floor(np.maximum(np.asarray(desired, dtype=float), 0.0)).astype(np.int64)
+    want = np.minimum(want, obs.link_units)
+    want[~obs.active] = 0
+    # Greedy prefix under the budget: cumulative sum, then truncate the
+    # first user that crosses the line and zero the rest.
+    cum = np.cumsum(want)
+    budget = obs.unit_budget
+    phi = want.copy()
+    over = cum > budget
+    if np.any(over):
+        first = int(np.argmax(over))
+        prior = int(cum[first - 1]) if first > 0 else 0
+        phi[first] = max(budget - prior, 0)
+        phi[first + 1 :] = 0
+    return phi

@@ -1,0 +1,113 @@
+"""Reference solvers for the per-slot allocation problem.
+
+The paper proves both per-slot problems NP-hard by reduction from
+multiple-choice knapsack.  These solvers exist to *verify* the fast
+implementations, not to run at scale:
+
+* :func:`brute_force_slot_minimum` — exhaustive enumeration over the
+  full allocation lattice (only viable for tiny instances; used in
+  property tests of the EMA dynamic program);
+* :func:`exact_slot_minimum` — the textbook O(N * M * w) dynamic
+  program of Algorithm 2, written plainly (explicit loops), against
+  which the sliding-window-minimum implementation in
+  :mod:`repro.core.ema` is checked on larger random instances.
+
+Both take arbitrary per-user cost tables ``f_i(phi)`` so they can also
+serve offline "what was the best possible slot decision" analyses.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["brute_force_slot_minimum", "exact_slot_minimum"]
+
+
+def _validate_tables(cost_tables: list[np.ndarray]) -> list[np.ndarray]:
+    if not cost_tables:
+        raise ConfigurationError("need at least one user cost table")
+    tables = []
+    for idx, tab in enumerate(cost_tables):
+        arr = np.asarray(tab, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError(f"user {idx}: cost table must be non-empty 1-D")
+        if np.any(np.isnan(arr)):
+            raise ConfigurationError(f"user {idx}: cost table contains NaN")
+        tables.append(arr)
+    return tables
+
+
+def brute_force_slot_minimum(
+    cost_tables: list[np.ndarray], unit_budget: int
+) -> tuple[float, np.ndarray]:
+    """Exhaustive minimum of ``sum_i f_i(phi_i)`` s.t. ``sum phi <= budget``.
+
+    ``cost_tables[i][phi]`` is ``f_i(phi)`` for ``phi`` from 0 to that
+    user's cap.  Exponential in the number of users — keep instances
+    tiny (tests use N <= 4, caps <= 6).
+    """
+    tables = _validate_tables(cost_tables)
+    if unit_budget < 0:
+        raise ConfigurationError("unit_budget must be non-negative")
+    best_val = np.inf
+    best_alloc = np.zeros(len(tables), dtype=np.int64)
+    ranges = [range(t.size) for t in tables]
+    for combo in itertools.product(*ranges):
+        if sum(combo) > unit_budget:
+            continue
+        val = sum(t[c] for t, c in zip(tables, combo))
+        if val < best_val:
+            best_val = val
+            best_alloc = np.array(combo, dtype=np.int64)
+    return float(best_val), best_alloc
+
+
+def exact_slot_minimum(
+    cost_tables: list[np.ndarray], unit_budget: int
+) -> tuple[float, np.ndarray]:
+    """Plain DP solving the same problem in O(N * M * max_cap).
+
+    Returns ``(value, allocation)``.  Ties broken toward smaller
+    ``phi`` for the later-indexed users (matching the EMA
+    implementation's preference for not transmitting on ties).
+    """
+    tables = _validate_tables(cost_tables)
+    if unit_budget < 0:
+        raise ConfigurationError("unit_budget must be non-negative")
+    n = len(tables)
+    m = unit_budget
+    # a[i][M]: best cost of users 0..i with total units <= M.
+    a = np.full((n, m + 1), np.inf)
+    for big_m in range(m + 1):
+        cap = min(tables[0].size - 1, big_m)
+        a[0, big_m] = tables[0][: cap + 1].min()
+    for i in range(1, n):
+        for big_m in range(m + 1):
+            cap = min(tables[i].size - 1, big_m)
+            best = np.inf
+            for phi in range(cap + 1):
+                cand = a[i - 1, big_m - phi] + tables[i][phi]
+                if cand < best:
+                    best = cand
+            a[i, big_m] = best
+    # Backtrack.
+    alloc = np.zeros(n, dtype=np.int64)
+    big_m = int(np.argmin(a[n - 1]))
+    value = float(a[n - 1, big_m])
+    for i in range(n - 1, -1, -1):
+        cap = min(tables[i].size - 1, big_m)
+        prev = (lambda k: a[i - 1, k]) if i > 0 else (lambda k: 0.0)
+        best_phi = 0
+        best_val = prev(big_m) + tables[i][0]
+        for phi in range(1, cap + 1):
+            cand = prev(big_m - phi) + tables[i][phi]
+            if cand < best_val - 1e-12:
+                best_val = cand
+                best_phi = phi
+        alloc[i] = best_phi
+        big_m -= best_phi
+    return value, alloc

@@ -1,0 +1,117 @@
+"""Lyapunov optimization machinery shared by EMA and its analysis.
+
+* :class:`VirtualQueues` — the per-user rebuffering-time queues
+  ``PC_i(n)`` of Eq. (16), updated from *delivered* media each slot;
+* :func:`lyapunov_function` / :func:`drift` — Eq. (17) and the one-slot
+  drift it induces;
+* :func:`drift_bound_constant` — the constant
+  ``B = 0.5 * sum(tau^2 + t_max^2)`` bounding the drift (Eq. 18);
+* :func:`theorem1_energy_bound` / :func:`theorem1_rebuffering_bound` —
+  the Theorem 1 performance bounds ``E* + B/V`` and ``(B + V E*)/eps``,
+  exposing the O(1/V, V) energy/rebuffering trade-off that the
+  ``bench_theorem1_bounds`` benchmark verifies empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "VirtualQueues",
+    "lyapunov_function",
+    "drift",
+    "drift_bound_constant",
+    "theorem1_energy_bound",
+    "theorem1_rebuffering_bound",
+]
+
+
+class VirtualQueues:
+    """The rebuffering-time virtual queues ``PC_i(n)`` (Eq. 16).
+
+    ``PC_i(n+1) = PC_i(n) + tau - t_i(n)`` while user ``i``'s session
+    is in progress.  Negative values mean banked buffer (media
+    delivered ahead of real time); positive values accumulate
+    rebuffering pressure.
+    """
+
+    def __init__(self, n_users: int, tau_s: float):
+        if n_users <= 0:
+            raise ConfigurationError("n_users must be positive")
+        if tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        self.n_users = int(n_users)
+        self.tau_s = float(tau_s)
+        self.values = np.zeros(self.n_users, dtype=float)
+
+    def update(self, delivered_playback_s: np.ndarray, in_session: np.ndarray) -> None:
+        """Apply Eq. (16) for one slot.
+
+        Parameters
+        ----------
+        delivered_playback_s:
+            ``t_i(n) = d_i(n) / p_i(n)`` — seconds of playback
+            delivered this slot, per user.
+        in_session:
+            Boolean mask of users whose session is in progress (queues
+            of finished / not-yet-arrived users are frozen).
+        """
+        t = np.asarray(delivered_playback_s, dtype=float)
+        mask = np.asarray(in_session, dtype=bool)
+        if t.shape != (self.n_users,) or mask.shape != (self.n_users,):
+            raise ConfigurationError("per-user arrays have wrong shape")
+        if np.any(t < 0):
+            raise ConfigurationError("delivered playback must be non-negative")
+        self.values = np.where(mask, self.values + self.tau_s - t, self.values)
+
+    def reset(self) -> None:
+        self.values = np.zeros(self.n_users, dtype=float)
+
+    def lyapunov(self) -> float:
+        """Current Lyapunov function value, Eq. (17)."""
+        return lyapunov_function(self.values)
+
+
+def lyapunov_function(queues: np.ndarray) -> float:
+    """Eq. (17): ``L = 0.5 * sum_i PC_i^2``."""
+    q = np.asarray(queues, dtype=float)
+    return float(0.5 * np.sum(q * q))
+
+
+def drift(queues_before: np.ndarray, queues_after: np.ndarray) -> float:
+    """One-slot Lyapunov drift ``L(n+1) - L(n)``."""
+    return lyapunov_function(queues_after) - lyapunov_function(queues_before)
+
+
+def drift_bound_constant(tau_s: float, t_max_s: float, n_users: int) -> float:
+    """The Eq. (18) constant ``B = 0.5 * sum_i (tau^2 + t_max^2)``.
+
+    ``t_max`` is the largest playback duration a single slot's shard
+    can carry for any user: ``tau * v_max / p_min`` under constraints
+    (1)-(2).
+    """
+    if tau_s <= 0 or t_max_s <= 0 or n_users <= 0:
+        raise ConfigurationError("tau_s, t_max_s, n_users must be positive")
+    return 0.5 * n_users * (tau_s**2 + t_max_s**2)
+
+
+def theorem1_energy_bound(e_star_mj: float, b_const: float, v_param: float) -> float:
+    """Theorem 1: ``PE_inf <= E* + B/V``."""
+    if v_param <= 0:
+        raise ConfigurationError("V must be positive")
+    if b_const < 0 or e_star_mj < 0:
+        raise ConfigurationError("B and E* must be non-negative")
+    return e_star_mj + b_const / v_param
+
+
+def theorem1_rebuffering_bound(
+    e_star_mj: float, b_const: float, v_param: float, epsilon_s: float
+) -> float:
+    """Theorem 1: ``PC_inf <= (B + V * E*) / eps``."""
+    if v_param <= 0 or epsilon_s <= 0:
+        raise ConfigurationError("V and eps must be positive")
+    if b_const < 0 or e_star_mj < 0:
+        raise ConfigurationError("B and E* must be non-negative")
+    return (b_const + v_param * e_star_mj) / epsilon_s

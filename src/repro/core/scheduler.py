@@ -1,0 +1,60 @@
+"""Scheduler interface.
+
+Every policy — the paper's RTMA and EMA plus all reimplemented
+baselines — is a :class:`Scheduler`: given a
+:class:`~repro.net.gateway.SlotObservation` it returns the integer
+data-unit allocation ``phi_i(n)`` for all users, subject to the link
+constraint (Eq. 1) and the capacity constraint (Eq. 2).
+
+Schedulers may be stateful (EMA maintains virtual queues; ON-OFF keeps
+per-user hysteresis state); the engine calls :meth:`Scheduler.notify`
+after transmission with what was actually delivered so a policy's
+internal state tracks ground truth, and :meth:`Scheduler.reset` between
+runs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.net.gateway import SlotObservation
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Base class for per-slot data-unit allocation policies."""
+
+    #: Human-readable policy name (used in result tables).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def allocate(self, obs: SlotObservation) -> np.ndarray:
+        """Return the allocation ``phi`` (int64 array, shape (n_users,)).
+
+        Must satisfy ``0 <= phi_i <= obs.link_units[i]`` and
+        ``sum(phi) <= obs.unit_budget``; inactive users must get 0.
+        """
+
+    def notify(
+        self, obs: SlotObservation, phi: np.ndarray, delivered_kb: np.ndarray
+    ) -> None:
+        """Post-transmission feedback hook (default: no-op).
+
+        ``delivered_kb`` may be smaller than ``phi * delta`` when a
+        session ran out of bytes; stateful policies should track the
+        delivered amounts, not the requested ones.
+        """
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (default: no-op)."""
+
+    @staticmethod
+    def _zeros(obs: SlotObservation) -> np.ndarray:
+        """Fresh all-zeros allocation for ``obs``."""
+        return np.zeros(obs.n_users, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one type at an API boundary.  Configuration problems are
+surfaced eagerly (at object construction) wherever possible.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model, scheduler, or simulation was configured inconsistently."""
+
+
+class ConstraintViolationError(ReproError):
+    """A scheduler produced an allocation violating constraints (1)/(2).
+
+    Attributes
+    ----------
+    slot:
+        Slot index at which the violation was detected, if known.
+    detail:
+        Human-readable description of the violated constraint.
+    """
+
+    def __init__(self, detail: str, slot: int | None = None):
+        self.slot = slot
+        self.detail = detail
+        prefix = f"slot {slot}: " if slot is not None else ""
+        super().__init__(f"{prefix}{detail}")
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine entered an invalid state."""
+
+
+class TraceError(ReproError, ValueError):
+    """A supplied signal/bitrate trace is malformed (shape, range, NaNs)."""

@@ -1,0 +1,18 @@
+"""Per-figure experiment reproductions (paper Section VI).
+
+Each ``figNN_*`` module exposes ``run(scale, seed) -> ExperimentResult``
+regenerating the corresponding figure's data series; the
+:mod:`repro.experiments.registry` module maps experiment ids to
+runners and provides the ``repro-experiments`` CLI.
+
+Scales:
+
+* ``"bench"`` — reduced horizon/sessions preserving the paper's
+  contention ratio; minutes for the full set (used by benchmarks/);
+* ``"full"`` — the paper's Section VI parameters (40 users, 10000
+  slots, 250-500 MB sessions); tens of minutes for the full set.
+"""
+
+from repro.experiments.common import ExperimentResult, paper_config
+
+__all__ = ["ExperimentResult", "paper_config"]

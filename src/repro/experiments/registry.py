@@ -1,0 +1,90 @@
+"""Experiment registry and the ``repro-experiments`` CLI.
+
+``repro-experiments list`` shows the available experiments;
+``repro-experiments run fig02 [--scale bench|full] [--seed N]`` runs
+one (or ``all``) and prints its tables.  ``--markdown`` emits the
+EXPERIMENTS.md-ready rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig02_fairness_rtma,
+    fig03_rebuffering_cdf,
+    fig04_rtma_efficacy,
+    fig05_rtma_comparison,
+    fig06_fairness_ema,
+    fig07_power_cdf,
+    fig08_ema_efficacy,
+    fig09_ema_comparison,
+    fig10_tradeoff_panel,
+    theorem1_bounds,
+)
+from repro.experiments.common import SCALES, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig02": fig02_fairness_rtma.run,
+    "fig03": fig03_rebuffering_cdf.run,
+    "fig04": fig04_rtma_efficacy.run,
+    "fig05": fig05_rtma_comparison.run,
+    "fig06": fig06_fairness_ema.run,
+    "fig07": fig07_power_cdf.run,
+    "fig08": fig08_ema_efficacy.run,
+    "fig09": fig09_ema_comparison.run,
+    "fig10": fig10_tradeoff_panel.run,
+    "theorem1": theorem1_bounds.run,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "bench", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale, seed=seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("exp_id", help="experiment id (e.g. fig02) or 'all'")
+    run_p.add_argument("--scale", choices=SCALES, default="bench")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--markdown", action="store_true", help="emit markdown tables"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.to_markdown() if args.markdown else result.render())
+        print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Media/client substrate: video sessions, playback buffers, players.
+
+* :mod:`repro.media.video` — video session descriptors with constant or
+  variable bit-rate profiles (``p_i(n)``, paper Section III-D);
+* :mod:`repro.media.buffer` — the remaining-occupancy / rebuffering
+  recursions of Eqs. (7)-(8);
+* :mod:`repro.media.player` — a streaming client combining the two and
+  tracking elapsed vs. total playback time (``m_i`` / ``M_i``).
+"""
+
+from repro.media.video import BitrateProfile, ConstantBitrateProfile, PiecewiseBitrateProfile, VideoSession
+from repro.media.buffer import PlaybackBuffer
+from repro.media.player import PlayerState, StreamingClient
+
+__all__ = [
+    "BitrateProfile",
+    "ConstantBitrateProfile",
+    "PiecewiseBitrateProfile",
+    "VideoSession",
+    "PlaybackBuffer",
+    "PlayerState",
+    "StreamingClient",
+]

@@ -1,0 +1,97 @@
+"""Client playback buffer: the paper's Eqs. (7)-(8).
+
+Remaining occupancy (Definition 5) evolves as
+
+    ``r(n) = max(r(n-1) - tau, 0) + t(n-1)``            (Eq. 7)
+
+where ``t(n-1) = d(n-1)/p(n-1)`` is the playback duration carried by
+the data shard delivered in the previous slot (a shard is usable only
+once fully received, hence the one-slot delay).  The slot's rebuffering
+time (Definition 6) is
+
+    ``c(n) = max(tau - r(n), 0)``  while playback is unfinished.  (Eq. 8)
+
+:class:`PlaybackBuffer` implements exactly this recursion; the
+state-machine wrapper lives in :mod:`repro.media.player`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PlaybackBuffer"]
+
+
+class PlaybackBuffer:
+    """Remaining-occupancy recursion with optional capacity cap.
+
+    Parameters
+    ----------
+    tau_s:
+        Slot length in seconds.
+    capacity_s:
+        Optional maximum buffered playback duration.  ``None`` (the
+        paper's implicit choice) means unbounded; a finite value makes
+        :meth:`headroom_s` meaningful for burst-shaping schedulers
+        (EStreamer) and causes excess delivered media to be discarded
+        at the cap (the engine avoids this by capping allocations).
+    """
+
+    def __init__(self, tau_s: float, capacity_s: float | None = None):
+        if tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        if capacity_s is not None and capacity_s <= 0:
+            raise ConfigurationError("capacity_s must be positive when given")
+        self.tau_s = float(tau_s)
+        self.capacity_s = None if capacity_s is None else float(capacity_s)
+        #: Remaining occupancy r(n), seconds of playback buffered.
+        self.occupancy_s: float = 0.0
+
+    def advance(self, t_prev_s: float) -> float:
+        """Apply Eq. (7) at the start of a slot.
+
+        Parameters
+        ----------
+        t_prev_s:
+            Playback duration ``t(n-1)`` delivered during the previous
+            slot (seconds).
+
+        Returns
+        -------
+        The new remaining occupancy ``r(n)`` in seconds.
+        """
+        if t_prev_s < 0:
+            raise ConfigurationError("delivered playback duration must be >= 0")
+        occ = max(self.occupancy_s - self.tau_s, 0.0) + t_prev_s
+        if self.capacity_s is not None:
+            occ = min(occ, self.capacity_s)
+        self.occupancy_s = occ
+        return occ
+
+    def rebuffering_s(self, playback_active: bool = True) -> float:
+        """Apply Eq. (8) for the current slot.
+
+        ``playback_active`` is the paper's ``m_i(n) < M_i`` condition:
+        once the user has watched the whole video, stalls no longer
+        accrue.
+        """
+        if not playback_active:
+            return 0.0
+        return max(self.tau_s - self.occupancy_s, 0.0)
+
+    def headroom_s(self) -> float:
+        """Buffered-duration headroom before the capacity cap.
+
+        Infinite for uncapped buffers.
+        """
+        if self.capacity_s is None:
+            return float("inf")
+        return max(self.capacity_s - self.occupancy_s, 0.0)
+
+    def reset(self) -> None:
+        """Return to the empty initial state (``r(0) = 0``)."""
+        self.occupancy_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cap = "inf" if self.capacity_s is None else f"{self.capacity_s:g}s"
+        return f"PlaybackBuffer(occupancy={self.occupancy_s:.3f}s, cap={cap})"

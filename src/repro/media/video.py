@@ -1,0 +1,121 @@
+"""Video session descriptors and bit-rate profiles.
+
+The paper's model (Section III-D) lets the requested data rate
+``p_i(n)`` "change over time but remain the same in a slot".  A
+:class:`BitrateProfile` supplies ``p_i(n)``; a :class:`VideoSession`
+pairs a profile with a total size and derives the total playback time
+``M_i`` (Definition 6's ``M_i``) consistently: the session ends when
+``size_kb`` bytes' worth of media, consumed at ``p_i(n)`` KB/s of
+playback, has been watched.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BitrateProfile",
+    "ConstantBitrateProfile",
+    "PiecewiseBitrateProfile",
+    "VideoSession",
+]
+
+
+class BitrateProfile(abc.ABC):
+    """Requested data rate ``p(n)`` in KB/s, constant within a slot."""
+
+    @abc.abstractmethod
+    def rate_kbps(self, slot: int) -> float:
+        """Rate for slot ``slot`` (>= some positive floor)."""
+
+    @abc.abstractmethod
+    def mean_rate_kbps(self) -> float:
+        """Long-run average rate, used to size sessions."""
+
+
+class ConstantBitrateProfile(BitrateProfile):
+    """CBR: one rate for the whole session (the common evaluation case)."""
+
+    def __init__(self, rate_kbps: float):
+        if rate_kbps <= 0:
+            raise ConfigurationError("rate_kbps must be positive")
+        self._rate = float(rate_kbps)
+
+    def rate_kbps(self, slot: int) -> float:
+        return self._rate
+
+    def mean_rate_kbps(self) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantBitrateProfile({self._rate} KB/s)"
+
+
+class PiecewiseBitrateProfile(BitrateProfile):
+    """VBR: the rate changes every ``segment_slots`` slots.
+
+    ``rates_kbps`` cycles if the session outlives the supplied segments
+    (a session's length depends on delivery, so it cannot be known
+    up-front).
+    """
+
+    def __init__(self, rates_kbps, segment_slots: int = 30):
+        rates = np.asarray(rates_kbps, dtype=float)
+        if rates.ndim != 1 or rates.size == 0:
+            raise ConfigurationError("rates_kbps must be a non-empty 1-D sequence")
+        if np.any(rates <= 0):
+            raise ConfigurationError("all rates must be positive")
+        if segment_slots <= 0:
+            raise ConfigurationError("segment_slots must be positive")
+        self.rates = rates
+        self.segment_slots = int(segment_slots)
+
+    def rate_kbps(self, slot: int) -> float:
+        if slot < 0:
+            raise ConfigurationError("slot must be non-negative")
+        seg = (slot // self.segment_slots) % self.rates.size
+        return float(self.rates[seg])
+
+    def mean_rate_kbps(self) -> float:
+        return float(self.rates.mean())
+
+
+class VideoSession:
+    """One user's video: total bytes plus a bit-rate profile.
+
+    Attributes
+    ----------
+    size_kb:
+        Total media size in KB (paper: uniform in 250..500 MB).
+    profile:
+        The requested-rate profile ``p(n)``.
+
+    Notes
+    -----
+    The total playback time ``M`` (Definition 6) for a CBR session is
+    simply ``size_kb / rate``; for VBR it depends on which slots end up
+    being *played*, so :class:`repro.media.player.StreamingClient`
+    tracks remaining media bytes instead of a precomputed ``M``.
+    """
+
+    def __init__(self, size_kb: float, profile: BitrateProfile):
+        if size_kb <= 0:
+            raise ConfigurationError("size_kb must be positive")
+        self.size_kb = float(size_kb)
+        self.profile = profile
+
+    def rate_kbps(self, slot: int) -> float:
+        """Requested data rate ``p(n)`` for slot ``slot``."""
+        return self.profile.rate_kbps(slot)
+
+    @property
+    def nominal_duration_s(self) -> float:
+        """Approximate playback duration at the mean rate (``M_i``)."""
+        return self.size_kb / self.profile.mean_rate_kbps()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VideoSession(size={self.size_kb:.0f} KB, {self.profile!r})"

@@ -1,0 +1,34 @@
+"""Network substrate: base station, flows, DPI, slicing, gateway.
+
+* :mod:`repro.net.basestation` — serving capacity ``S(n)`` and the
+  frame/data-unit discretisation (Eq. 2);
+* :mod:`repro.net.flows` — video flow descriptors (user, session,
+  arrival time);
+* :mod:`repro.net.dpi` — the DPI middlebox the paper relies on to read
+  the required data rate from HTTP/RTSP requests;
+* :mod:`repro.net.slicing` — resource slicing (CellSlice [26]) that
+  separates video traffic from background downlink load;
+* :mod:`repro.net.gateway` — the framework of Fig. 1: DataReceiver,
+  InformationCollector, Scheduler slot, DataTransmitter.
+"""
+
+from repro.net.basestation import BaseStation, ConstantCapacity, TimeVaryingCapacity
+from repro.net.flows import VideoFlow
+from repro.net.dpi import DPIInspector
+from repro.net.slicing import ResourceSlicer, BackgroundTraffic
+from repro.net.gateway import DataReceiver, DataTransmitter, Gateway, InformationCollector, SlotObservation
+
+__all__ = [
+    "BaseStation",
+    "ConstantCapacity",
+    "TimeVaryingCapacity",
+    "VideoFlow",
+    "DPIInspector",
+    "ResourceSlicer",
+    "BackgroundTraffic",
+    "DataReceiver",
+    "DataTransmitter",
+    "Gateway",
+    "InformationCollector",
+    "SlotObservation",
+]

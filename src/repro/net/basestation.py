@@ -1,0 +1,100 @@
+"""Base-station capacity model and frame discretisation (Eq. 2).
+
+The BS serves at most ``S(n)`` KB/s in slot ``n``; allocations are made
+in physical-layer frames of ``delta_kb`` KB, so the per-slot unit
+budget is ``floor(tau * S(n) / delta)`` (constraint 2).  The paper uses
+a constant 20 MB/s; :class:`TimeVaryingCapacity` supports diurnal or
+trace-driven load for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["CapacityModel", "ConstantCapacity", "TimeVaryingCapacity", "BaseStation"]
+
+
+class CapacityModel(abc.ABC):
+    """Serving capacity ``S(n)`` in KB/s."""
+
+    @abc.abstractmethod
+    def capacity_kbps(self, slot: int) -> float:
+        """Capacity for slot ``slot``."""
+
+
+class ConstantCapacity(CapacityModel):
+    """Fixed ``S`` for every slot (the paper's configuration)."""
+
+    def __init__(self, capacity_kbps: float = constants.BS_CAPACITY_KBPS):
+        if capacity_kbps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self._cap = float(capacity_kbps)
+
+    def capacity_kbps(self, slot: int) -> float:
+        return self._cap
+
+
+class TimeVaryingCapacity(CapacityModel):
+    """Capacity replayed from a per-slot array (tiles past the end)."""
+
+    def __init__(self, capacities_kbps):
+        caps = np.asarray(capacities_kbps, dtype=float)
+        if caps.ndim != 1 or caps.size == 0:
+            raise ConfigurationError("capacities must be a non-empty 1-D array")
+        if np.any(caps <= 0):
+            raise ConfigurationError("all capacities must be positive")
+        self._caps = caps
+
+    def capacity_kbps(self, slot: int) -> float:
+        if slot < 0:
+            raise ConfigurationError("slot must be non-negative")
+        return float(self._caps[slot % self._caps.size])
+
+
+class BaseStation:
+    """A base station: capacity model + frame size.
+
+    Parameters
+    ----------
+    capacity:
+        A :class:`CapacityModel`, or a plain number (KB/s) for
+        convenience.
+    delta_kb:
+        Physical-layer frame (data unit) size in KB — the paper's
+        ``delta``, fixed by the spreading factor.
+    tau_s:
+        Slot length, seconds.
+    """
+
+    def __init__(
+        self,
+        capacity: CapacityModel | float = constants.BS_CAPACITY_KBPS,
+        delta_kb: float = constants.DEFAULT_DELTA_KB,
+        tau_s: float = constants.DEFAULT_TAU_S,
+    ):
+        if isinstance(capacity, (int, float)):
+            capacity = ConstantCapacity(float(capacity))
+        if delta_kb <= 0:
+            raise ConfigurationError("delta_kb must be positive")
+        if tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        self.capacity = capacity
+        self.delta_kb = float(delta_kb)
+        self.tau_s = float(tau_s)
+
+    def capacity_kbps(self, slot: int) -> float:
+        """Serving capacity ``S(n)`` for slot ``slot``."""
+        return self.capacity.capacity_kbps(slot)
+
+    def unit_budget(self, slot: int) -> int:
+        """Constraint (2) budget: ``floor(tau * S(n) / delta)`` units."""
+        return int(np.floor(self.tau_s * self.capacity_kbps(slot) / self.delta_kb))
+
+    def units_to_kb(self, units) -> np.ndarray:
+        """Convert unit counts to KB (``d = phi * delta``)."""
+        return np.asarray(units, dtype=float) * self.delta_kb

@@ -1,0 +1,268 @@
+"""The gateway framework of the paper's Fig. 1.
+
+Four components sit between the Internet and the base station:
+
+* :class:`DataReceiver` — buffers downlink video bytes fetched from the
+  origin servers (per-user queues, optional fetch-ahead limit);
+* :class:`InformationCollector` — assembles the cross-layer
+  :class:`SlotObservation` (signal strength via the RAN, required rates
+  via DPI, BS capacity via the slicer, client feedback);
+* the pluggable *Scheduler* (see :mod:`repro.core.scheduler`) — decides
+  the per-user data-unit allocation ``phi_i(n)``;
+* :class:`DataTransmitter` — pushes the allocated shards to clients,
+  truncating to what the receiver queues actually hold.
+
+:class:`Gateway` wires them together; the simulation engine drives one
+:meth:`Gateway.step` per slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.media.player import StreamingClient
+from repro.net.basestation import BaseStation
+from repro.net.dpi import DPIInspector
+from repro.net.flows import VideoFlow
+from repro.net.slicing import ResourceSlicer
+
+__all__ = [
+    "SlotObservation",
+    "DataReceiver",
+    "InformationCollector",
+    "DataTransmitter",
+    "Gateway",
+]
+
+
+@dataclass(frozen=True)
+class SlotObservation:
+    """Everything a scheduler may observe at the start of a slot.
+
+    All per-user arrays have shape ``(n_users,)``.  Inactive users
+    (session not started, or fully delivered) are flagged in
+    ``active``; well-behaved schedulers allocate them zero units.
+    """
+
+    slot: int
+    tau_s: float
+    delta_kb: float
+    #: Video-slice serving capacity S(n), KB/s.
+    capacity_kbps: float
+    #: Constraint (2) budget: floor(tau * S(n) / delta) units.
+    unit_budget: int
+    #: Per-user RSSI, dBm.
+    sig_dbm: np.ndarray
+    #: Observed required data rate p_i(n), KB/s.
+    rate_kbps: np.ndarray
+    #: Constraint (1) caps: floor(tau * v(sig_i) / delta) units.
+    link_units: np.ndarray
+    #: Per-KB reception energy P(sig_i), mJ/KB.
+    p_mj_per_kb: np.ndarray
+    #: Session started and still has bytes to receive.
+    active: np.ndarray
+    #: Client buffer occupancy r_i(n), seconds.
+    buffer_s: np.ndarray
+    #: Media bytes still to deliver, KB.
+    remaining_kb: np.ndarray
+    #: Tail energy the device pays if it idles this slot, mJ.
+    idle_tail_cost_mj: np.ndarray
+    #: Receiver window: bytes each client can accept this slot, KB
+    #: (inf for uncapped buffers).
+    receivable_kb: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.receivable_kb is None:
+            object.__setattr__(
+                self, "receivable_kb", np.full(self.sig_dbm.shape, np.inf)
+            )
+
+    @property
+    def n_users(self) -> int:
+        return self.sig_dbm.shape[0]
+
+    @property
+    def sendable_kb(self) -> np.ndarray:
+        """Useful bytes per user: min(remaining media, receiver window)."""
+        return np.minimum(self.remaining_kb, self.receivable_kb)
+
+
+class DataReceiver:
+    """Per-user queues of video bytes fetched from origin servers.
+
+    The origin is modelled as always able to refill the queue up to
+    ``fetch_ahead_kb`` ahead of what has been transmitted (``inf``
+    reproduces the paper, where the gateway is never origin-limited).
+    """
+
+    def __init__(self, n_users: int, fetch_ahead_kb: float = float("inf")):
+        if n_users <= 0:
+            raise ConfigurationError("n_users must be positive")
+        if fetch_ahead_kb <= 0:
+            raise ConfigurationError("fetch_ahead_kb must be positive")
+        self.n_users = int(n_users)
+        self.fetch_ahead_kb = float(fetch_ahead_kb)
+        self.queued_kb = np.zeros(self.n_users, dtype=float)
+        self.fetched_total_kb = np.zeros(self.n_users, dtype=float)
+
+    def refill(self, remaining_kb: np.ndarray) -> None:
+        """Fetch from origin up to the fetch-ahead limit.
+
+        ``remaining_kb`` is each session's undelivered media; queues
+        never hold more than that.
+        """
+        remaining = np.asarray(remaining_kb, dtype=float)
+        if remaining.shape != (self.n_users,):
+            raise ConfigurationError("remaining_kb has wrong shape")
+        target = np.minimum(self.fetch_ahead_kb, remaining)
+        fetch = np.maximum(target - self.queued_kb, 0.0)
+        self.queued_kb += fetch
+        self.fetched_total_kb += fetch
+
+    def drain(self, amounts_kb: np.ndarray) -> np.ndarray:
+        """Remove up to ``amounts_kb`` per user; returns what was taken."""
+        req = np.asarray(amounts_kb, dtype=float)
+        if req.shape != (self.n_users,):
+            raise ConfigurationError("amounts_kb has wrong shape")
+        if np.any(req < 0):
+            raise ConfigurationError("drain amounts must be non-negative")
+        taken = np.minimum(req, self.queued_kb)
+        self.queued_kb -= taken
+        return taken
+
+
+class InformationCollector:
+    """Builds the :class:`SlotObservation` from cross-layer sources."""
+
+    def __init__(self, dpi: DPIInspector | None = None):
+        self.dpi = dpi if dpi is not None else DPIInspector()
+
+    def collect(
+        self,
+        slot: int,
+        sig_row: np.ndarray,
+        flows: list[VideoFlow],
+        clients: list[StreamingClient],
+        bs: BaseStation,
+        slicer: ResourceSlicer,
+        throughput_model,
+        power_model,
+        idle_tail_cost_mj: np.ndarray,
+    ) -> SlotObservation:
+        n = len(flows)
+        if len(clients) != n or np.asarray(sig_row).shape != (n,):
+            raise SimulationError("inconsistent per-user array lengths")
+        sig = np.asarray(sig_row, dtype=float)
+        rates = self.dpi.required_rates_kbps(flows, slot)
+        raw_cap = bs.capacity_kbps(slot)
+        video_cap = slicer.video_capacity_kbps(raw_cap, slot)
+        unit_budget = int(np.floor(bs.tau_s * video_cap / bs.delta_kb))
+        link_units = throughput_model.max_units(sig, bs.tau_s, bs.delta_kb)
+        active = np.array(
+            [f.active_at(slot) and c.needs_data for f, c in zip(flows, clients)],
+            dtype=bool,
+        )
+        buffer_s = np.array([c.buffer_occupancy_s for c in clients], dtype=float)
+        remaining = np.array([c.remaining_kb for c in clients], dtype=float)
+        receivable = np.array([c.receivable_kb(slot) for c in clients], dtype=float)
+        return SlotObservation(
+            slot=slot,
+            tau_s=bs.tau_s,
+            delta_kb=bs.delta_kb,
+            capacity_kbps=video_cap,
+            unit_budget=unit_budget,
+            sig_dbm=sig,
+            rate_kbps=rates,
+            link_units=link_units,
+            p_mj_per_kb=np.asarray(power_model.p(sig), dtype=float),
+            active=active,
+            buffer_s=buffer_s,
+            remaining_kb=remaining,
+            idle_tail_cost_mj=np.asarray(idle_tail_cost_mj, dtype=float),
+            receivable_kb=receivable,
+        )
+
+
+class DataTransmitter:
+    """Delivers allocated shards to clients, bounded by receiver queues."""
+
+    def transmit(
+        self,
+        allocation_units: np.ndarray,
+        obs: SlotObservation,
+        receiver: DataReceiver,
+        clients: list[StreamingClient],
+    ) -> np.ndarray:
+        """Send ``phi_i(n) * delta`` KB to each client.
+
+        Returns the KB actually accepted per user (after receiver-queue
+        and session-remaining truncation).
+        """
+        phi = np.asarray(allocation_units)
+        if phi.shape != (len(clients),):
+            raise SimulationError("allocation has wrong shape")
+        if np.any(phi < 0):
+            raise SimulationError("allocation must be non-negative")
+        want_kb = phi.astype(float) * obs.delta_kb
+        offer_kb = np.minimum(want_kb, receiver.queued_kb)
+        accepted = np.zeros(len(clients), dtype=float)
+        for i, client in enumerate(clients):
+            if offer_kb[i] > 0:
+                accepted[i] = client.deliver(offer_kb[i], obs.slot)
+        # Only bytes the client's receiver window accepted leave the
+        # gateway queue; the rest stays buffered (flow control, not loss).
+        receiver.drain(accepted)
+        return accepted
+
+
+class Gateway:
+    """Fig. 1 assembled: receiver + collector + scheduler + transmitter."""
+
+    def __init__(
+        self,
+        scheduler,
+        bs: BaseStation,
+        n_users: int,
+        slicer: ResourceSlicer | None = None,
+        dpi: DPIInspector | None = None,
+        fetch_ahead_kb: float = float("inf"),
+    ):
+        self.scheduler = scheduler
+        self.bs = bs
+        self.slicer = slicer if slicer is not None else ResourceSlicer()
+        self.receiver = DataReceiver(n_users, fetch_ahead_kb)
+        self.collector = InformationCollector(dpi)
+        self.transmitter = DataTransmitter()
+
+    def step(
+        self,
+        slot: int,
+        sig_row: np.ndarray,
+        flows: list[VideoFlow],
+        clients: list[StreamingClient],
+        throughput_model,
+        power_model,
+        idle_tail_cost_mj: np.ndarray,
+    ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
+        """Run one slot of the framework.
+
+        Returns ``(observation, allocation_units, delivered_kb)``.
+        """
+        obs = self.collector.collect(
+            slot,
+            sig_row,
+            flows,
+            clients,
+            self.bs,
+            self.slicer,
+            throughput_model,
+            power_model,
+            idle_tail_cost_mj,
+        )
+        self.receiver.refill(obs.remaining_kb)
+        phi = np.asarray(self.scheduler.allocate(obs))
+        delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
+        return obs, phi, delivered_kb

@@ -1,0 +1,95 @@
+"""Resource slicing: separating video from background downlink traffic.
+
+The paper's Data Receiver "leverages the resource slicing technique
+[CellSlice 26] to separate video flows among other downlink traffic";
+only video traffic is scheduled by the framework.  We model the other
+traffic as a :class:`BackgroundTraffic` load process and a
+:class:`ResourceSlicer` that reserves the remainder of the BS capacity
+for the video slice, with a configurable guaranteed minimum share.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackgroundTraffic", "ConstantBackground", "PoissonBackground", "ResourceSlicer"]
+
+
+class BackgroundTraffic(abc.ABC):
+    """Non-video downlink load in KB/s per slot."""
+
+    @abc.abstractmethod
+    def load_kbps(self, slot: int) -> float:
+        """Background load for slot ``slot``."""
+
+
+class ConstantBackground(BackgroundTraffic):
+    """A fixed background load (0 reproduces the paper's setting)."""
+
+    def __init__(self, load_kbps: float = 0.0):
+        if load_kbps < 0:
+            raise ConfigurationError("background load must be non-negative")
+        self._load = float(load_kbps)
+
+    def load_kbps(self, slot: int) -> float:
+        return self._load
+
+
+class PoissonBackground(BackgroundTraffic):
+    """Bursty background: i.i.d. Poisson number of flows per slot,
+    each consuming ``per_flow_kbps``.  The trace is pre-drawn from a
+    seed so repeated queries for a slot are consistent."""
+
+    def __init__(
+        self,
+        mean_flows: float,
+        per_flow_kbps: float,
+        horizon_slots: int,
+        rng=None,
+    ):
+        if mean_flows < 0 or per_flow_kbps <= 0 or horizon_slots <= 0:
+            raise ConfigurationError(
+                "mean_flows >= 0, per_flow_kbps > 0, horizon_slots > 0 required"
+            )
+        gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._trace = gen.poisson(mean_flows, size=horizon_slots) * float(per_flow_kbps)
+
+    def load_kbps(self, slot: int) -> float:
+        if slot < 0:
+            raise ConfigurationError("slot must be non-negative")
+        return float(self._trace[slot % self._trace.size])
+
+
+class ResourceSlicer:
+    """Carves the video slice out of the BS capacity.
+
+    Parameters
+    ----------
+    background:
+        The competing downlink load.
+    min_video_share:
+        Guaranteed fraction of the raw capacity reserved for video even
+        under heavy background load (CellSlice-style isolation).
+    """
+
+    def __init__(
+        self,
+        background: BackgroundTraffic | None = None,
+        min_video_share: float = 0.1,
+    ):
+        if not 0.0 < min_video_share <= 1.0:
+            raise ConfigurationError("min_video_share must be in (0, 1]")
+        self.background = background if background is not None else ConstantBackground(0.0)
+        self.min_video_share = float(min_video_share)
+
+    def video_capacity_kbps(self, raw_capacity_kbps: float, slot: int) -> float:
+        """Capacity left for the video slice in slot ``slot``."""
+        if raw_capacity_kbps <= 0:
+            raise ConfigurationError("raw capacity must be positive")
+        leftover = raw_capacity_kbps - self.background.load_kbps(slot)
+        floor = self.min_video_share * raw_capacity_kbps
+        return max(leftover, floor)

@@ -1,0 +1,55 @@
+"""Radio substrate: signal traces, throughput/power fits, RRC machine.
+
+This subpackage models everything below the scheduler:
+
+* :mod:`repro.radio.signal` — per-user RSSI trace generators
+  (the paper's phase-shifted sinusoid + white noise, plus Markov,
+  Gauss-Markov random walk, constant and file-backed traces);
+* :mod:`repro.radio.throughput` — throughput-vs-signal fits
+  (Definition 3 / Eq. 24);
+* :mod:`repro.radio.power` — per-byte energy fits
+  (Definition 4 / Eq. 24);
+* :mod:`repro.radio.tail` — closed-form tail energy (Eq. 4);
+* :mod:`repro.radio.rrc` — explicit RRC state machine whose
+  per-slot accounting matches Eq. (4) exactly;
+* :mod:`repro.radio.profiles` — named parameter bundles (3G UMTS
+  defaults from the paper, an LTE profile, and a fast-dormancy variant).
+"""
+
+from repro.radio.signal import (
+    ConstantSignalModel,
+    MarkovSignalModel,
+    RandomWalkSignalModel,
+    SignalModel,
+    SinusoidSignalModel,
+    TraceSignalModel,
+)
+from repro.radio.throughput import LinearThroughputModel, TableThroughputModel, ThroughputModel
+from repro.radio.power import EnviPowerModel, PowerModel, TablePowerModel
+from repro.radio.tail import tail_energy_mj, tail_energy_rate_mw
+from repro.radio.rrc import RRCParams, RRCState, RRCStateMachine, RRCFleet
+from repro.radio.profiles import RadioProfile, get_profile, list_profiles
+
+__all__ = [
+    "SignalModel",
+    "SinusoidSignalModel",
+    "MarkovSignalModel",
+    "RandomWalkSignalModel",
+    "ConstantSignalModel",
+    "TraceSignalModel",
+    "ThroughputModel",
+    "LinearThroughputModel",
+    "TableThroughputModel",
+    "PowerModel",
+    "EnviPowerModel",
+    "TablePowerModel",
+    "tail_energy_mj",
+    "tail_energy_rate_mw",
+    "RRCParams",
+    "RRCState",
+    "RRCStateMachine",
+    "RRCFleet",
+    "RadioProfile",
+    "get_profile",
+    "list_profiles",
+]

@@ -1,0 +1,137 @@
+"""Per-byte transmission-energy models (paper Definition 4, Eq. 24).
+
+The paper's fit (from EnVi [28]) expresses the energy cost of receiving
+one KB at signal strength ``sig`` as
+
+    ``P(sig) = -0.167 + 1560 / v(sig)   (mJ/KB)``
+
+so the *instantaneous radio power* while receiving at full rate is
+
+    ``P(sig) * v(sig) = -0.167 * v(sig) + 1560   (mW)``
+
+— weaker signal means lower throughput and *higher* power per byte.
+:class:`EnviPowerModel` implements the fit; :class:`TablePowerModel`
+supports measured tables.  Both are vectorised.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.radio.throughput import LinearThroughputModel, ThroughputModel
+
+__all__ = ["PowerModel", "EnviPowerModel", "TablePowerModel"]
+
+
+class PowerModel(abc.ABC):
+    """Maps signal strength (dBm) to per-KB reception energy (mJ/KB)."""
+
+    @abc.abstractmethod
+    def p(self, sig_dbm):
+        """Energy per KB (mJ/KB) at signal ``sig_dbm`` (scalar or array)."""
+
+    def transmission_energy_mj(self, sig_dbm, data_kb):
+        """Eq. (3): ``E_trans = P(sig) * data`` for ``data`` in KB."""
+        data = np.asarray(data_kb, dtype=float)
+        if np.any(data < 0):
+            raise ConfigurationError("data_kb must be non-negative")
+        return np.asarray(self.p(sig_dbm)) * data
+
+
+class EnviPowerModel(PowerModel):
+    """The paper's hyperbolic fit ``P(sig) = c0 + c1 / v(sig)``.
+
+    Parameters
+    ----------
+    offset, scale:
+        The fit constants ``c0`` (mJ/KB) and ``c1`` (mW).
+    throughput:
+        Throughput model supplying ``v(sig)``; defaults to the paper's
+        linear fit so the two halves of Eq. (24) stay consistent.
+    p_floor:
+        Lower clamp on the per-KB energy.  The raw fit turns negative
+        above ``v = c1/|c0| ~= 9341 KB/s``, beyond the paper's signal
+        range; the clamp keeps the model physical for extended ranges.
+    """
+
+    def __init__(
+        self,
+        offset: float = constants.POWER_OFFSET_MJ_PER_KB,
+        scale: float = constants.POWER_SCALE_MW,
+        throughput: ThroughputModel | None = None,
+        p_floor: float = 1e-3,
+    ):
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if p_floor < 0:
+            raise ConfigurationError("p_floor must be non-negative")
+        self.offset = float(offset)
+        self.scale = float(scale)
+        self.throughput = throughput if throughput is not None else LinearThroughputModel()
+        self.p_floor = float(p_floor)
+
+    def p(self, sig_dbm):
+        v = np.asarray(self.throughput.v(sig_dbm), dtype=float)
+        with np.errstate(divide="ignore"):
+            raw = self.offset + self.scale / v
+        # Zero throughput -> infinite energy per byte: transmitting there
+        # is never selected by any scheduler, and the +inf propagates
+        # correctly through cost comparisons.
+        raw = np.where(v > 0, raw, np.inf)
+        return np.maximum(raw, self.p_floor)
+
+    def radio_power_mw(self, sig_dbm):
+        """Instantaneous power ``P(sig) * v(sig)`` when receiving at
+        the full achievable rate (mW)."""
+        v = np.asarray(self.throughput.v(sig_dbm), dtype=float)
+        return np.asarray(self.p(sig_dbm)) * v
+
+    def signal_for_radio_power(self, power_mw: float) -> float:
+        """Invert ``P(sig)*v(sig) = power_mw`` for the RTMA Eq. (12)
+        threshold.
+
+        With the un-clamped fit, ``P(sig)*v(sig) = c0*v + c1`` which is
+        *decreasing* in ``v`` for ``c0 < 0``: a lower power budget
+        requires a *stronger* signal.  Raises if the budget is
+        unattainable within the throughput model's range.
+        """
+        if self.offset == 0:
+            raise ConfigurationError(
+                "radio power is constant (offset=0); threshold undefined"
+            )
+        v_target = (float(power_mw) - self.scale) / self.offset
+        if v_target <= 0:
+            raise ConfigurationError(
+                f"power budget {power_mw} mW unattainable: requires "
+                f"non-positive throughput {v_target} KB/s"
+            )
+        return float(self.throughput.signal_for(v_target))
+
+
+class TablePowerModel(PowerModel):
+    """Piecewise-linear interpolation of a measured (sig, P) table.
+
+    Energy per byte must be non-increasing in signal strength (stronger
+    signal never costs more per byte).
+    """
+
+    def __init__(self, sig_points_dbm, p_points_mj_per_kb):
+        sig = np.asarray(sig_points_dbm, dtype=float)
+        p = np.asarray(p_points_mj_per_kb, dtype=float)
+        if sig.ndim != 1 or sig.shape != p.shape or sig.size < 2:
+            raise ConfigurationError("need matching 1-D tables with >= 2 points")
+        if np.any(np.diff(sig) <= 0):
+            raise ConfigurationError("signal points must be strictly increasing")
+        if np.any(np.diff(p) > 0):
+            raise ConfigurationError("per-KB energy must be non-increasing in signal")
+        if np.any(p <= 0):
+            raise ConfigurationError("per-KB energy must be positive")
+        self.sig_points = sig
+        self.p_points = p
+
+    def p(self, sig_dbm):
+        return np.interp(np.asarray(sig_dbm, dtype=float), self.sig_points, self.p_points)

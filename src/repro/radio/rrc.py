@@ -1,0 +1,207 @@
+"""Radio Resource Control (RRC) state machine and per-slot tail accounting.
+
+The paper models 3G RRC with three states — CELL_DCH (high power),
+CELL_FACH (medium power), CELL_IDLE — and two demotion timers ``T1``
+(DCH -> FACH) and ``T2`` (FACH -> IDLE).  LTE collapses to two states
+(RRC_CONNECTED / RRC_IDLE), which this machine expresses as ``T2 = 0``
+or ``Pf = 0`` parameterisations (see :mod:`repro.radio.profiles`).
+
+Per the paper's Eq. (5), a slot's energy is *either* transmission
+energy (when data units are allocated) *or* tail energy (when idle);
+:class:`RRCStateMachine` tracks the idle age between transmissions and
+emits the per-slot *incremental* tail energy, whose cumulative sum over
+any idle gap matches the closed form of Eq. (4) exactly
+(property-tested in ``tests/radio/test_rrc.py``).
+
+:class:`RRCFleet` is the vectorised multi-user variant used by the
+simulation engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.radio.tail import max_tail_energy_mj, tail_energy_mj
+
+__all__ = ["RRCState", "RRCParams", "RRCStateMachine", "RRCFleet"]
+
+
+class RRCState(enum.Enum):
+    """Radio states, mapped onto 3G names (LTE uses DCH/IDLE only)."""
+
+    DCH = "CELL_DCH"
+    FACH = "CELL_FACH"
+    IDLE = "CELL_IDLE"
+
+
+@dataclass(frozen=True)
+class RRCParams:
+    """RRC power/timer parameters.
+
+    Attributes
+    ----------
+    pd_mw, pf_mw:
+        Instantaneous power in the high (DCH / RRC_CONNECTED) and
+        medium (FACH) states, mW.
+    t1_s, t2_s:
+        Demotion timers: high -> medium after ``t1_s`` idle seconds,
+        medium -> idle after a further ``t2_s``.
+    """
+
+    pd_mw: float = constants.POWER_DCH_MW
+    pf_mw: float = constants.POWER_FACH_MW
+    t1_s: float = constants.TIMER_T1_S
+    t2_s: float = constants.TIMER_T2_S
+
+    def __post_init__(self) -> None:
+        if self.pd_mw < 0 or self.pf_mw < 0:
+            raise ConfigurationError("state powers must be non-negative")
+        if self.t1_s < 0 or self.t2_s < 0:
+            raise ConfigurationError("timers must be non-negative")
+
+    @property
+    def max_tail_mj(self) -> float:
+        """Full cost of one complete tail, ``Pd*T1 + Pf*T2``."""
+        return max_tail_energy_mj(self.pd_mw, self.pf_mw, self.t1_s, self.t2_s)
+
+    def tail_energy_mj(self, gap_s):
+        """Closed-form Eq. (4) with these parameters."""
+        return tail_energy_mj(gap_s, self.pd_mw, self.pf_mw, self.t1_s, self.t2_s)
+
+
+class RRCStateMachine:
+    """Single-device RRC machine with incremental tail-energy accounting.
+
+    Usage: call :meth:`step` once per slot with whether the device
+    received data during that slot; the return value is the tail energy
+    accrued *during that slot* (zero for transmitting slots — their
+    energy is the separately-computed transmission energy, Eq. 5).
+
+    A freshly-created machine is IDLE with no pending tail.
+    """
+
+    def __init__(self, params: RRCParams | None = None):
+        self.params = params if params is not None else RRCParams()
+        self.idle_age_s: float = self.params.t1_s + self.params.t2_s
+        self._ever_transmitted = False
+
+    @property
+    def state(self) -> RRCState:
+        """Current radio state derived from the idle age."""
+        if self.idle_age_s <= 0.0:
+            return RRCState.DCH
+        if not self._ever_transmitted:
+            return RRCState.IDLE
+        if self.idle_age_s < self.params.t1_s:
+            return RRCState.DCH
+        if self.idle_age_s < self.params.t1_s + self.params.t2_s:
+            return RRCState.FACH
+        return RRCState.IDLE
+
+    def step(self, transmitting: bool, dt_s: float) -> float:
+        """Advance one slot; return the slot's tail energy in mJ."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        if transmitting:
+            self.idle_age_s = 0.0
+            self._ever_transmitted = True
+            return 0.0
+        if not self._ever_transmitted:
+            # Never promoted: no tail to pay.
+            return 0.0
+        before = self.params.tail_energy_mj(self.idle_age_s)
+        self.idle_age_s += dt_s
+        after = self.params.tail_energy_mj(self.idle_age_s)
+        return float(after - before)
+
+    def expected_idle_cost_mj(self, dt_s: float) -> float:
+        """Tail energy this device *would* pay if idle for the next slot.
+
+        Used by energy-aware schedulers (EMA) to price the
+        ``phi_i(n) = 0`` branch of Eq. (5) without mutating state.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        if not self._ever_transmitted:
+            return 0.0
+        return float(
+            self.params.tail_energy_mj(self.idle_age_s + dt_s)
+            - self.params.tail_energy_mj(self.idle_age_s)
+        )
+
+
+class RRCFleet:
+    """Vectorised RRC machines for ``n_users`` devices.
+
+    Semantically identical to ``n_users`` independent
+    :class:`RRCStateMachine` instances (property-tested), but steps the
+    whole fleet with a handful of NumPy operations per slot.
+    """
+
+    def __init__(self, n_users: int, params: RRCParams | None = None):
+        if n_users <= 0:
+            raise ConfigurationError("n_users must be positive")
+        self.n_users = int(n_users)
+        self.params = params if params is not None else RRCParams()
+        full = self.params.t1_s + self.params.t2_s
+        self.idle_age_s = np.full(self.n_users, full, dtype=float)
+        self.ever_transmitted = np.zeros(self.n_users, dtype=bool)
+
+    def step(self, transmitting: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance all devices one slot.
+
+        Parameters
+        ----------
+        transmitting:
+            Boolean mask, shape ``(n_users,)``.
+        dt_s:
+            Slot length in seconds.
+
+        Returns
+        -------
+        Tail energy accrued this slot per device, mJ (zero where
+        transmitting).
+        """
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        tx = np.asarray(transmitting, dtype=bool)
+        if tx.shape != (self.n_users,):
+            raise ConfigurationError(
+                f"transmitting mask must have shape ({self.n_users},), got {tx.shape}"
+            )
+        before = self.params.tail_energy_mj(self.idle_age_s)
+        after = self.params.tail_energy_mj(self.idle_age_s + dt_s)
+        tail = np.where(tx | ~self.ever_transmitted, 0.0, after - before)
+        self.idle_age_s = np.where(tx, 0.0, self.idle_age_s + dt_s)
+        self.ever_transmitted |= tx
+        return tail
+
+    def expected_idle_cost_mj(self, dt_s: float) -> np.ndarray:
+        """Vectorised :meth:`RRCStateMachine.expected_idle_cost_mj`."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        before = self.params.tail_energy_mj(self.idle_age_s)
+        after = self.params.tail_energy_mj(self.idle_age_s + dt_s)
+        return np.where(self.ever_transmitted, after - before, 0.0)
+
+    def states(self) -> list[RRCState]:
+        """Current per-device states (for inspection/plotting)."""
+        out: list[RRCState] = []
+        t1, t2 = self.params.t1_s, self.params.t2_s
+        for age, ever in zip(self.idle_age_s, self.ever_transmitted):
+            if age <= 0.0:
+                out.append(RRCState.DCH)
+            elif not ever:
+                out.append(RRCState.IDLE)
+            elif age < t1:
+                out.append(RRCState.DCH)
+            elif age < t1 + t2:
+                out.append(RRCState.FACH)
+            else:
+                out.append(RRCState.IDLE)
+        return out

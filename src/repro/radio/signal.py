@@ -1,0 +1,277 @@
+"""Per-user received-signal-strength (RSSI) trace generators.
+
+The paper (Section VI) drives its evaluation with a sinusoidal RSSI
+trace in ``[-110, -50] dBm`` carrying 30 dBm white Gaussian noise, with
+a distinct phase shift per user so users do not experience good channel
+conditions simultaneously.  :class:`SinusoidSignalModel` implements
+exactly that.  Additional generators (Markov chain, Gauss-Markov random
+walk, constant, and file/array-backed traces) are provided for
+robustness studies and ablations.
+
+All generators share one contract: :meth:`SignalModel.generate` returns
+an ``(n_slots, n_users)`` float array of dBm values, clipped to the
+model's ``[sig_min, sig_max]`` range so the downstream linear throughput
+fit stays positive (the fit crosses zero near ``-115 dBm``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError, TraceError
+
+__all__ = [
+    "SignalModel",
+    "SinusoidSignalModel",
+    "MarkovSignalModel",
+    "RandomWalkSignalModel",
+    "ConstantSignalModel",
+    "TraceSignalModel",
+]
+
+
+class SignalModel(abc.ABC):
+    """Abstract RSSI trace generator.
+
+    Parameters common to all concrete models:
+
+    sig_min, sig_max:
+        Inclusive clipping range in dBm.  Defaults follow the paper
+        (``-110`` to ``-50``).
+    """
+
+    def __init__(
+        self,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        if not np.isfinite(sig_min) or not np.isfinite(sig_max):
+            raise ConfigurationError("signal range must be finite")
+        if sig_min >= sig_max:
+            raise ConfigurationError(
+                f"sig_min ({sig_min}) must be below sig_max ({sig_max})"
+            )
+        self.sig_min = float(sig_min)
+        self.sig_max = float(sig_max)
+
+    @abc.abstractmethod
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce the unclipped ``(n_slots, n_users)`` trace."""
+
+    def generate(
+        self, n_slots: int, n_users: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Generate a clipped ``(n_slots, n_users)`` dBm trace.
+
+        ``rng`` may be a :class:`numpy.random.Generator`, a seed, or
+        ``None`` (fresh entropy).
+        """
+        if n_slots <= 0 or n_users <= 0:
+            raise ConfigurationError("n_slots and n_users must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        trace = self._raw(int(n_slots), int(n_users), rng)
+        if trace.shape != (n_slots, n_users):
+            raise TraceError(
+                f"generator produced shape {trace.shape}, "
+                f"expected {(n_slots, n_users)}"
+            )
+        return np.clip(trace, self.sig_min, self.sig_max)
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the signal range in dBm."""
+        return 0.5 * (self.sig_min + self.sig_max)
+
+    @property
+    def amplitude(self) -> float:
+        """Half-width of the signal range in dBm."""
+        return 0.5 * (self.sig_max - self.sig_min)
+
+
+class SinusoidSignalModel(SignalModel):
+    """The paper's trace: per-user phase-shifted sinusoid plus noise.
+
+    ``sig_u(n) = mid + A * sin(2*pi*n/period + phase_u) + N(0, noise_std)``
+
+    Parameters
+    ----------
+    period_slots:
+        Full sine period in slots.  The paper does not state one; the
+        default (600 slots = 10 minutes at tau = 1 s) gives several
+        good/bad channel episodes per video session.
+    noise_std_dbm:
+        Standard deviation of the additive white Gaussian noise
+        (paper: 30 dBm).
+    phases:
+        Explicit per-user phase offsets in radians.  When ``None``,
+        users are spread evenly over ``[0, 2*pi)`` — the paper only
+        says "different phase shifts for the N sine functions".
+    """
+
+    def __init__(
+        self,
+        period_slots: float = 600.0,
+        noise_std_dbm: float = constants.SIGNAL_NOISE_STD_DBM,
+        phases: np.ndarray | None = None,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        super().__init__(sig_min, sig_max)
+        if period_slots <= 0:
+            raise ConfigurationError("period_slots must be positive")
+        if noise_std_dbm < 0:
+            raise ConfigurationError("noise_std_dbm must be non-negative")
+        self.period_slots = float(period_slots)
+        self.noise_std_dbm = float(noise_std_dbm)
+        self.phases = None if phases is None else np.asarray(phases, dtype=float)
+
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        if self.phases is not None:
+            if self.phases.shape != (n_users,):
+                raise ConfigurationError(
+                    f"phases must have shape ({n_users},), got {self.phases.shape}"
+                )
+            phases = self.phases
+        else:
+            phases = np.arange(n_users) * (2.0 * np.pi / n_users)
+        n = np.arange(n_slots, dtype=float)[:, None]
+        carrier = self.midpoint + self.amplitude * np.sin(
+            2.0 * np.pi * n / self.period_slots + phases[None, :]
+        )
+        if self.noise_std_dbm > 0:
+            carrier = carrier + rng.normal(0.0, self.noise_std_dbm, size=carrier.shape)
+        return carrier
+
+
+class MarkovSignalModel(SignalModel):
+    """Discrete-state Markov RSSI model (cf. Dutta et al. [22]).
+
+    The signal range is divided into ``n_states`` evenly spaced levels;
+    each slot the chain stays with probability ``p_stay`` or moves to an
+    adjacent level (half probability each side; reflecting boundaries).
+    Users evolve independently from uniformly random initial states.
+    """
+
+    def __init__(
+        self,
+        n_states: int = 7,
+        p_stay: float = 0.6,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        super().__init__(sig_min, sig_max)
+        if n_states < 2:
+            raise ConfigurationError("n_states must be >= 2")
+        if not 0.0 <= p_stay <= 1.0:
+            raise ConfigurationError("p_stay must be in [0, 1]")
+        self.n_states = int(n_states)
+        self.p_stay = float(p_stay)
+
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        levels = np.linspace(self.sig_min, self.sig_max, self.n_states)
+        state = rng.integers(0, self.n_states, size=n_users)
+        out = np.empty((n_slots, n_users), dtype=float)
+        p_move = 1.0 - self.p_stay
+        for n in range(n_slots):
+            out[n] = levels[state]
+            u = rng.random(n_users)
+            step = np.zeros(n_users, dtype=np.int64)
+            step[u < 0.5 * p_move] = -1
+            step[(u >= 0.5 * p_move) & (u < p_move)] = 1
+            state = np.clip(state + step, 0, self.n_states - 1)
+        return out
+
+
+class RandomWalkSignalModel(SignalModel):
+    """Gauss-Markov (AR(1)) random-walk RSSI model.
+
+    ``sig(n+1) = mid + alpha * (sig(n) - mid) + sigma * N(0, 1)``
+
+    ``alpha`` near 1 yields slowly drifting channels; ``alpha = 0``
+    degenerates to i.i.d. noise around the midpoint.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.98,
+        sigma_dbm: float = 3.0,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        super().__init__(sig_min, sig_max)
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError("alpha must be in [0, 1]")
+        if sigma_dbm < 0:
+            raise ConfigurationError("sigma_dbm must be non-negative")
+        self.alpha = float(alpha)
+        self.sigma_dbm = float(sigma_dbm)
+
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty((n_slots, n_users), dtype=float)
+        dev = rng.uniform(-self.amplitude, self.amplitude, size=n_users)
+        noise = rng.normal(0.0, self.sigma_dbm, size=(n_slots, n_users))
+        for n in range(n_slots):
+            out[n] = self.midpoint + dev
+            dev = self.alpha * dev + noise[n]
+        return out
+
+
+class ConstantSignalModel(SignalModel):
+    """Every user sees a fixed RSSI — useful for analytic unit tests."""
+
+    def __init__(
+        self,
+        level_dbm: float = -80.0,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        super().__init__(sig_min, sig_max)
+        if not sig_min <= level_dbm <= sig_max:
+            raise ConfigurationError(
+                f"level_dbm {level_dbm} outside [{sig_min}, {sig_max}]"
+            )
+        self.level_dbm = float(level_dbm)
+
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full((n_slots, n_users), self.level_dbm, dtype=float)
+
+
+@dataclass
+class TraceSignalModel(SignalModel):
+    """Replay a recorded ``(n_slots, n_users)`` trace (tiling as needed).
+
+    The trace is validated for NaNs at construction.  If the requested
+    horizon exceeds the trace length, the trace wraps around; if fewer
+    users are requested than columns exist, the leading columns are
+    used; requesting more users than columns is an error.
+    """
+
+    trace: np.ndarray = field(repr=False)
+
+    def __init__(
+        self,
+        trace: np.ndarray,
+        sig_min: float = constants.SIGNAL_MIN_DBM,
+        sig_max: float = constants.SIGNAL_MAX_DBM,
+    ):
+        super().__init__(sig_min, sig_max)
+        trace = np.asarray(trace, dtype=float)
+        if trace.ndim != 2 or trace.size == 0:
+            raise TraceError("trace must be a non-empty 2-D array (slots x users)")
+        if not np.all(np.isfinite(trace)):
+            raise TraceError("trace contains NaN or infinite values")
+        self.trace = trace
+
+    def _raw(self, n_slots: int, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        slots_avail, users_avail = self.trace.shape
+        if n_users > users_avail:
+            raise TraceError(
+                f"trace has {users_avail} users, {n_users} requested"
+            )
+        idx = np.arange(n_slots) % slots_avail
+        return self.trace[idx][:, :n_users]

@@ -1,0 +1,81 @@
+"""Closed-form tail energy, paper Eq. (4).
+
+After a transmission the radio lingers in high-power states until the
+RRC inactivity timers expire.  For an idle gap of ``t`` seconds the
+cumulative *tail energy* is
+
+    ``E_tail(t) = Pd*t``                          for ``0 <= t < T1``
+    ``E_tail(t) = Pd*T1 + Pf*(t - T1)``           for ``T1 <= t < T1+T2``
+    ``E_tail(t) = Pd*T1 + Pf*T2``                 for ``t >= T1+T2``
+
+These helpers are the analytic ground truth against which the stateful
+:class:`repro.radio.rrc.RRCStateMachine` is property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["tail_energy_mj", "tail_energy_rate_mw", "max_tail_energy_mj"]
+
+
+def _validate(pd_mw: float, pf_mw: float, t1_s: float, t2_s: float) -> None:
+    if pd_mw < 0 or pf_mw < 0:
+        raise ConfigurationError("state powers must be non-negative")
+    if t1_s < 0 or t2_s < 0:
+        raise ConfigurationError("timers must be non-negative")
+
+
+def tail_energy_mj(
+    t_s,
+    pd_mw: float = constants.POWER_DCH_MW,
+    pf_mw: float = constants.POWER_FACH_MW,
+    t1_s: float = constants.TIMER_T1_S,
+    t2_s: float = constants.TIMER_T2_S,
+):
+    """Cumulative tail energy (mJ) for idle gap(s) ``t_s`` seconds.
+
+    Vectorised: ``t_s`` may be a scalar or array.  Negative gaps raise.
+    """
+    _validate(pd_mw, pf_mw, t1_s, t2_s)
+    t = np.asarray(t_s, dtype=float)
+    if np.any(t < 0):
+        raise ConfigurationError("idle gap must be non-negative")
+    dch_part = pd_mw * np.minimum(t, t1_s)
+    fach_part = pf_mw * np.clip(t - t1_s, 0.0, t2_s)
+    out = dch_part + fach_part
+    return out if out.ndim else float(out)
+
+
+def tail_energy_rate_mw(
+    t_s,
+    pd_mw: float = constants.POWER_DCH_MW,
+    pf_mw: float = constants.POWER_FACH_MW,
+    t1_s: float = constants.TIMER_T1_S,
+    t2_s: float = constants.TIMER_T2_S,
+):
+    """Instantaneous tail power (mW) at idle age ``t_s``.
+
+    ``Pd`` while the T1 timer runs, ``Pf`` while T2 runs, 0 once idle.
+    (Right-continuous: the rate at exactly ``t = T1`` is ``Pf``.)
+    """
+    _validate(pd_mw, pf_mw, t1_s, t2_s)
+    t = np.asarray(t_s, dtype=float)
+    if np.any(t < 0):
+        raise ConfigurationError("idle age must be non-negative")
+    out = np.where(t < t1_s, pd_mw, np.where(t < t1_s + t2_s, pf_mw, 0.0))
+    return out if out.ndim else float(out)
+
+
+def max_tail_energy_mj(
+    pd_mw: float = constants.POWER_DCH_MW,
+    pf_mw: float = constants.POWER_FACH_MW,
+    t1_s: float = constants.TIMER_T1_S,
+    t2_s: float = constants.TIMER_T2_S,
+) -> float:
+    """The saturation value ``Pd*T1 + Pf*T2`` — the full cost of one tail."""
+    _validate(pd_mw, pf_mw, t1_s, t2_s)
+    return pd_mw * t1_s + pf_mw * t2_s

@@ -1,0 +1,129 @@
+"""Throughput-vs-signal models (paper Definition 3, Eq. 24).
+
+The paper adopts the EnVi [28] linear fit
+
+    ``v(sig) = 65.8 * sig + 7567.0  (KB/s)``
+
+relating RSSI in dBm to the maximum achievable downlink throughput.
+:class:`LinearThroughputModel` implements it (clamped at zero below the
+cutoff near ``-115 dBm``); :class:`TableThroughputModel` supports
+arbitrary monotone measurement tables via interpolation for ablations.
+
+Both models are vectorised: ``v`` accepts scalars or arrays and returns
+matching shapes.  The inverse map ``signal_for`` is the workhorse of
+RTMA's Eq. (12) threshold derivation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["ThroughputModel", "LinearThroughputModel", "TableThroughputModel"]
+
+
+class ThroughputModel(abc.ABC):
+    """Maps signal strength (dBm) to achievable throughput (KB/s)."""
+
+    @abc.abstractmethod
+    def v(self, sig_dbm):
+        """Throughput in KB/s for signal ``sig_dbm`` (scalar or array)."""
+
+    @abc.abstractmethod
+    def signal_for(self, v_kbps):
+        """Inverse map: the signal (dBm) at which throughput equals
+        ``v_kbps``.  Must satisfy ``v(signal_for(x)) ~= x`` for ``x``
+        within the model's achievable range."""
+
+    @property
+    @abc.abstractmethod
+    def v_max(self) -> float:
+        """Largest throughput achievable at the strongest modelled signal."""
+
+    def max_units(self, sig_dbm, tau_s: float, delta_kb: float) -> np.ndarray:
+        """Constraint (1): per-slot data-unit cap ``floor(tau*v(sig)/delta)``.
+
+        The paper writes a ceiling in Eq. (1) but uses the floor when
+        computing ``phi_sup`` in both algorithms; we use the floor
+        uniformly so an allocation never exceeds physical throughput.
+        """
+        if tau_s <= 0 or delta_kb <= 0:
+            raise ConfigurationError("tau_s and delta_kb must be positive")
+        return np.floor(tau_s * np.asarray(self.v(sig_dbm)) / delta_kb).astype(np.int64)
+
+
+class LinearThroughputModel(ThroughputModel):
+    """The paper's linear fit ``v(sig) = slope*sig + intercept``, >= 0."""
+
+    def __init__(
+        self,
+        slope: float = constants.THROUGHPUT_SLOPE_KBPS_PER_DBM,
+        intercept: float = constants.THROUGHPUT_INTERCEPT_KBPS,
+        sig_max_dbm: float = constants.SIGNAL_MAX_DBM,
+    ):
+        if slope <= 0:
+            raise ConfigurationError("slope must be positive (stronger signal, more throughput)")
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.sig_max_dbm = float(sig_max_dbm)
+
+    def v(self, sig_dbm):
+        out = self.slope * np.asarray(sig_dbm, dtype=float) + self.intercept
+        return np.maximum(out, 0.0)
+
+    def signal_for(self, v_kbps):
+        v_kbps = np.asarray(v_kbps, dtype=float)
+        if np.any(v_kbps < 0):
+            raise ConfigurationError("throughput must be non-negative")
+        return (v_kbps - self.intercept) / self.slope
+
+    @property
+    def v_max(self) -> float:
+        return float(self.v(self.sig_max_dbm))
+
+    @property
+    def cutoff_dbm(self) -> float:
+        """Signal strength at which the fit reaches zero throughput."""
+        return -self.intercept / self.slope
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinearThroughputModel(slope={self.slope}, "
+            f"intercept={self.intercept})"
+        )
+
+
+class TableThroughputModel(ThroughputModel):
+    """Piecewise-linear interpolation of a measured (sig, v) table.
+
+    The table must be strictly increasing in both columns; values are
+    clamped (flat extrapolation) outside the measured signal range.
+    """
+
+    def __init__(self, sig_points_dbm, v_points_kbps):
+        sig = np.asarray(sig_points_dbm, dtype=float)
+        v = np.asarray(v_points_kbps, dtype=float)
+        if sig.ndim != 1 or sig.shape != v.shape or sig.size < 2:
+            raise ConfigurationError("need matching 1-D tables with >= 2 points")
+        if np.any(np.diff(sig) <= 0):
+            raise ConfigurationError("signal points must be strictly increasing")
+        if np.any(np.diff(v) <= 0):
+            raise ConfigurationError("throughput points must be strictly increasing")
+        if np.any(v < 0):
+            raise ConfigurationError("throughput must be non-negative")
+        self.sig_points = sig
+        self.v_points = v
+
+    def v(self, sig_dbm):
+        return np.interp(np.asarray(sig_dbm, dtype=float), self.sig_points, self.v_points)
+
+    def signal_for(self, v_kbps):
+        return np.interp(np.asarray(v_kbps, dtype=float), self.v_points, self.sig_points)
+
+    @property
+    def v_max(self) -> float:
+        return float(self.v_points[-1])

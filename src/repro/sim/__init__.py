@@ -1,0 +1,53 @@
+"""Simulation layer: configuration, workload, engine, metrics, sweeps.
+
+* :mod:`repro.sim.config` — :class:`SimConfig`, the single source of
+  truth for a run's parameters (paper Section VI defaults);
+* :mod:`repro.sim.workload` — seeded generation of video flows and
+  signal traces;
+* :mod:`repro.sim.engine` — the slot-driven simulation loop wiring
+  gateway, clients, RRC fleet and a scheduler;
+* :mod:`repro.sim.metrics` — PE (Eq. 6), PC (Eq. 9), Jain fairness and
+  CDF helpers;
+* :mod:`repro.sim.results` — per-slot/per-user result arrays plus
+  summaries;
+* :mod:`repro.sim.runner` — comparisons on identical workloads,
+  parameter sweeps, multi-seed replication, and the calibration
+  helpers that set ``Phi = alpha * E_default`` / pick EMA's ``V`` for a
+  target rebuffering bound.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.metrics import (
+    average_energy_mj,
+    average_rebuffering_s,
+    jain_fairness,
+    per_slot_fairness,
+)
+from repro.sim.results import SimulationResult, SummaryStats
+from repro.sim.runner import (
+    calibrate_ema_v,
+    compare_schedulers,
+    make_rtma_for_alpha,
+    run_scheduler,
+    sweep,
+)
+from repro.sim.workload import Workload, generate_workload
+
+__all__ = [
+    "SimConfig",
+    "Simulation",
+    "SimulationResult",
+    "SummaryStats",
+    "Workload",
+    "generate_workload",
+    "average_energy_mj",
+    "average_rebuffering_s",
+    "jain_fairness",
+    "per_slot_fairness",
+    "run_scheduler",
+    "compare_schedulers",
+    "sweep",
+    "make_rtma_for_alpha",
+    "calibrate_ema_v",
+]

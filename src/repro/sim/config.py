@@ -1,0 +1,123 @@
+"""Simulation configuration.
+
+:class:`SimConfig` captures every knob of a run.  The defaults are the
+paper's Section VI evaluation setting: 40 users, 10000 one-second
+slots, 20 MB/s serving capacity, 250-500 MB videos at 300-600 KB/s,
+sinusoidal signal in [-110, -50] dBm with 30 dBm noise, and the
+``umts-3g`` radio profile (EnVi fits + PerES RRC timers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.net.slicing import BackgroundTraffic
+from repro.radio.profiles import RadioProfile, get_profile
+from repro.radio.signal import SignalModel, SinusoidSignalModel
+
+__all__ = ["SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All parameters of one simulation run.
+
+    Attributes
+    ----------
+    n_users, n_slots, tau_s, delta_kb, capacity_kbps:
+        Cell geometry: user count, horizon, slot length, frame size,
+        BS serving capacity ``S`` (KB/s).
+    video_size_range_kb:
+        ``(min, max)`` of the per-user uniform video-size draw.
+    rate_range_kbps:
+        ``(min, max)`` of the per-user uniform required-rate draw.
+    vbr_segments:
+        ``0`` gives each user a constant rate (the common reading of
+        the paper's setup).  A positive value makes rates *variable*:
+        each user's session is divided into segments of this many
+        slots, each drawing a fresh rate from ``rate_range_kbps``.
+    mean_video_size_kb:
+        When set, overrides the size draw with sizes rescaled to hit
+        this mean exactly — the paper's "average required data amount"
+        sweep axis (Figs. 4b/8b).
+    profile:
+        A :class:`~repro.radio.profiles.RadioProfile` or its name.
+    signal_model:
+        Any :class:`~repro.radio.signal.SignalModel`; ``None`` means
+        the paper's sinusoid.
+    buffer_capacity_s:
+        Client playback buffer cap in seconds (``None`` = unbounded,
+        as the paper implies).
+    background:
+        Optional non-video downlink load competing inside the BS.
+    fetch_ahead_kb:
+        Gateway Data Receiver origin-fetch window.
+    seed:
+        Workload RNG seed; identical seeds give identical workloads
+        across schedulers (the comparisons rely on this).
+    """
+
+    n_users: int = constants.DEFAULT_N_USERS
+    n_slots: int = constants.DEFAULT_N_SLOTS
+    tau_s: float = constants.DEFAULT_TAU_S
+    delta_kb: float = constants.DEFAULT_DELTA_KB
+    capacity_kbps: float = constants.BS_CAPACITY_KBPS
+    video_size_range_kb: tuple[float, float] = (
+        constants.VIDEO_SIZE_MIN_KB,
+        constants.VIDEO_SIZE_MAX_KB,
+    )
+    rate_range_kbps: tuple[float, float] = (
+        constants.DATA_RATE_MIN_KBPS,
+        constants.DATA_RATE_MAX_KBPS,
+    )
+    vbr_segments: int = 0
+    mean_video_size_kb: float | None = None
+    profile: RadioProfile | str = "umts-3g"
+    signal_model: SignalModel | None = None
+    buffer_capacity_s: float | None = None
+    background: BackgroundTraffic | None = None
+    fetch_ahead_kb: float = float("inf")
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0 or self.n_slots <= 0:
+            raise ConfigurationError("n_users and n_slots must be positive")
+        if self.tau_s <= 0 or self.delta_kb <= 0 or self.capacity_kbps <= 0:
+            raise ConfigurationError("tau_s, delta_kb, capacity_kbps must be positive")
+        lo, hi = self.video_size_range_kb
+        if not 0 < lo <= hi:
+            raise ConfigurationError("invalid video size range")
+        rlo, rhi = self.rate_range_kbps
+        if not 0 < rlo <= rhi:
+            raise ConfigurationError("invalid rate range")
+        if self.vbr_segments < 0:
+            raise ConfigurationError("vbr_segments must be >= 0")
+        if self.mean_video_size_kb is not None and self.mean_video_size_kb <= 0:
+            raise ConfigurationError("mean_video_size_kb must be positive")
+        if self.buffer_capacity_s is not None and self.buffer_capacity_s <= 0:
+            raise ConfigurationError("buffer_capacity_s must be positive")
+
+    @property
+    def radio(self) -> RadioProfile:
+        """The resolved radio profile object."""
+        if isinstance(self.profile, RadioProfile):
+            return self.profile
+        return get_profile(self.profile)
+
+    def make_signal_model(self) -> SignalModel:
+        """The signal model, defaulting to the paper's sinusoid."""
+        if self.signal_model is not None:
+            return self.signal_model
+        return SinusoidSignalModel()
+
+    @property
+    def unit_budget_per_slot(self) -> int:
+        """Constraint (2) unit budget at the nominal capacity."""
+        return int(self.tau_s * self.capacity_kbps // self.delta_kb)
+
+    def with_(self, **changes: Any) -> "SimConfig":
+        """A modified copy (sweep helper): ``cfg.with_(n_users=20)``."""
+        return replace(self, **changes)

@@ -1,0 +1,161 @@
+"""The slot-driven simulation engine.
+
+Each slot runs the paper's pipeline in order:
+
+1. **Playback phase** — every client applies Eq. (7) with the media
+   delivered last slot, records this slot's rebuffering (Eq. 8), and
+   plays;
+2. **Observation** — the gateway's Information Collector assembles the
+   cross-layer :class:`~repro.net.gateway.SlotObservation` (RSSI, DPI
+   rates, BS slice capacity, client feedback, prospective tail costs);
+3. **Scheduling** — the policy returns ``phi_i(n)``, validated against
+   constraints (1)-(2) (a violating policy raises, it never cheats);
+4. **Transmission** — shards flow through Data Receiver queues to the
+   clients; transmission energy is ``P(sig_i) * delivered`` (Eq. 3);
+5. **Radio accounting** — the RRC fleet advances: transmitting users
+   reset their tails, idle users accrue incremental tail energy
+   (Eq. 4/5);
+6. **Feedback** — the scheduler's ``notify`` hook sees the delivered
+   amounts (EMA updates its virtual queues here).
+
+The engine is deliberately strict: it asserts conservation invariants
+as it goes (delivered bytes never exceed capacity or session size) and
+fails loudly on scheduler misbehaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import check_constraints
+from repro.errors import SimulationError
+from repro.media.player import StreamingClient
+from repro.net.basestation import BaseStation, ConstantCapacity
+from repro.net.gateway import Gateway
+from repro.net.slicing import ResourceSlicer
+from repro.radio.rrc import RRCFleet
+from repro.sim.config import SimConfig
+from repro.sim.results import SimulationResult
+from repro.sim.workload import Workload, generate_workload
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """One scheduler, one workload, one run.
+
+    Parameters
+    ----------
+    config:
+        The run parameters.
+    scheduler:
+        Any :class:`~repro.core.scheduler.Scheduler`.
+    workload:
+        Pre-generated workload; ``None`` generates one from the
+        config's seed.  Pass the same :class:`Workload` object to
+        several simulations to compare schedulers head-to-head.
+    """
+
+    def __init__(self, config: SimConfig, scheduler, workload: Workload | None = None):
+        self.config = config
+        self.scheduler = scheduler
+        self.workload = workload if workload is not None else generate_workload(config)
+        if self.workload.n_users != config.n_users:
+            raise SimulationError(
+                f"workload has {self.workload.n_users} users, config says {config.n_users}"
+            )
+        if self.workload.n_slots < config.n_slots:
+            raise SimulationError(
+                f"workload trace covers {self.workload.n_slots} slots, "
+                f"config needs {config.n_slots}"
+            )
+
+    def run(self) -> SimulationResult:
+        """Execute the full horizon and return the result record."""
+        cfg = self.config
+        radio = cfg.radio
+        n, gamma = cfg.n_users, cfg.n_slots
+
+        self.scheduler.reset()
+        clients = [
+            StreamingClient(flow.video, cfg.tau_s, cfg.buffer_capacity_s)
+            for flow in self.workload.flows
+        ]
+        bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
+        slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
+        gateway = Gateway(
+            self.scheduler, bs, n, slicer=slicer, fetch_ahead_kb=cfg.fetch_ahead_kb
+        )
+        rrc = RRCFleet(n, radio.rrc)
+
+        alloc = np.zeros((gamma, n), dtype=np.int64)
+        delivered = np.zeros((gamma, n), dtype=float)
+        rebuf = np.zeros((gamma, n), dtype=float)
+        e_trans = np.zeros((gamma, n), dtype=float)
+        e_tail = np.zeros((gamma, n), dtype=float)
+        buffer_s = np.zeros((gamma, n), dtype=float)
+        need_kb = np.zeros((gamma, n), dtype=float)
+        active_rec = np.zeros((gamma, n), dtype=bool)
+        completion = np.full(n, -1, dtype=np.int64)
+
+        flows = self.workload.flows
+        signal = self.workload.signal_dbm
+        arrivals = np.array([f.arrival_slot for f in flows], dtype=np.int64)
+
+        for slot in range(gamma):
+            # 1. Playback: Eq. (7)/(8) with last slot's deliveries.
+            #    Sessions that have not arrived yet do not play (and do
+            #    not accrue startup rebuffering).
+            for i, client in enumerate(clients):
+                if slot < arrivals[i]:
+                    continue
+                c_i, _played = client.begin_slot(slot)
+                rebuf[slot, i] = c_i
+                if completion[i] < 0 and client.playback_complete:
+                    completion[i] = slot
+
+            # 2-4. Observe, schedule, transmit.
+            idle_cost = rrc.expected_idle_cost_mj(cfg.tau_s)
+            obs, phi, sent_kb = gateway.step(
+                slot,
+                signal[slot],
+                flows,
+                clients,
+                radio.throughput,
+                radio.power,
+                idle_cost,
+            )
+            check_constraints(phi, obs)
+            if np.any(sent_kb > phi * cfg.delta_kb + 1e-9):
+                raise SimulationError(f"slot {slot}: delivered more than allocated")
+
+            # 5. Radio energy accounting (Eq. 5: trans XOR tail).
+            tx_mask = sent_kb > 0.0
+            e_trans[slot] = obs.p_mj_per_kb * sent_kb
+            e_tail[slot] = rrc.step(tx_mask, cfg.tau_s)
+
+            # 6. Scheduler feedback.
+            self.scheduler.notify(obs, phi, sent_kb)
+
+            alloc[slot] = phi
+            delivered[slot] = sent_kb
+            buffer_s[slot] = obs.buffer_s
+            need_kb[slot] = obs.rate_kbps * cfg.tau_s
+            active_rec[slot] = obs.active
+
+        if not np.all(np.isfinite(e_trans)):
+            raise SimulationError("non-finite transmission energy recorded")
+        return SimulationResult(
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            config=cfg,
+            allocation_units=alloc,
+            delivered_kb=delivered,
+            rebuffering_s=rebuf,
+            energy_trans_mj=e_trans,
+            energy_tail_mj=e_tail,
+            buffer_s=buffer_s,
+            need_kb=need_kb,
+            active=active_rec,
+            completion_slot=completion,
+            arrival_slot=arrivals,
+        )

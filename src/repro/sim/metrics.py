@@ -1,0 +1,122 @@
+"""Evaluation metrics: PE (Eq. 6), PC (Eq. 9), Jain fairness.
+
+The fairness metric follows the paper's Section VI-A definition: per
+slot, each user's satisfaction is ``F_i = d_i / d_need(i)`` (allocated
+over required bytes), aggregated by the Jain index
+
+    ``J = (sum F_i)^2 / (N * sum F_i^2)``
+
+over the users active in that slot.  ``J`` is 1 when all users are
+equally satisfied and approaches ``1/N`` when one user takes all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "average_energy_mj",
+    "average_rebuffering_s",
+    "jain_fairness",
+    "per_slot_fairness",
+    "empirical_cdf",
+]
+
+
+def average_energy_mj(energy_mj: np.ndarray) -> float:
+    """Eq. (6): mean energy per user-slot over a ``(slots, users)`` array."""
+    e = np.asarray(energy_mj, dtype=float)
+    if e.ndim != 2 or e.size == 0:
+        raise ConfigurationError("energy array must be 2-D (slots x users)")
+    if np.any(e < 0):
+        raise ConfigurationError("energy must be non-negative")
+    return float(e.mean())
+
+
+def average_rebuffering_s(rebuffering_s: np.ndarray) -> float:
+    """Eq. (9): mean rebuffering per user-slot over ``(slots, users)``."""
+    c = np.asarray(rebuffering_s, dtype=float)
+    if c.ndim != 2 or c.size == 0:
+        raise ConfigurationError("rebuffering array must be 2-D (slots x users)")
+    if np.any(c < 0):
+        raise ConfigurationError("rebuffering must be non-negative")
+    return float(c.mean())
+
+
+def jain_fairness(shares: np.ndarray) -> float:
+    """Jain index of a vector of non-negative shares.
+
+    All-zero shares (nobody got or needed anything) count as perfectly
+    fair: 1.0.
+    """
+    x = np.asarray(shares, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ConfigurationError("shares must be a non-empty vector")
+    if np.any(x < 0):
+        raise ConfigurationError("shares must be non-negative")
+    total = x.sum()
+    if total == 0.0:
+        return 1.0
+    return float(total * total / (x.size * np.dot(x, x)))
+
+
+def per_slot_fairness(
+    delivered_kb: np.ndarray,
+    need_kb: np.ndarray,
+    active: np.ndarray,
+    min_active: int = 2,
+) -> np.ndarray:
+    """Per-slot Jain index of ``F_i = d_i / d_need(i)`` over active users.
+
+    Parameters
+    ----------
+    delivered_kb, need_kb, active:
+        ``(slots, users)`` arrays; ``need_kb`` is ``tau * p_i(n)``.
+    min_active:
+        Slots with fewer active users than this yield NaN.  Fairness
+        measures *competition for the BS*: once sessions complete and a
+        lone user remains, the index degenerates to 1, which would
+        dilute CDFs over a long horizon (the paper's Fig. 2/6 are
+        clearly computed over the contended scheduling period).
+
+    Returns
+    -------
+    ``(slots,)`` array; NaN slots are excluded from CDFs.
+    """
+    d = np.asarray(delivered_kb, dtype=float)
+    need = np.asarray(need_kb, dtype=float)
+    act = np.asarray(active, dtype=bool)
+    if d.shape != need.shape or d.shape != act.shape or d.ndim != 2:
+        raise ConfigurationError("inputs must share a (slots, users) shape")
+    if min_active < 1:
+        raise ConfigurationError("min_active must be >= 1")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f = np.where(need > 0, d / need, 0.0)
+    f = np.where(act, f, 0.0)
+    n_active = act.sum(axis=1)
+    total = f.sum(axis=1)
+    sq = (f * f).sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jain = np.where(
+            (n_active >= min_active) & (sq > 0),
+            total * total / (n_active * sq),
+            np.where(n_active >= min_active, 1.0, np.nan),
+        )
+    return jain
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative probabilities (NaNs dropped).
+
+    Returns ``(x, p)`` with ``p[k] = (k+1)/n`` — suitable for step
+    plots and for quantile assertions in the figure benches.
+    """
+    x = np.asarray(samples, dtype=float).ravel()
+    x = x[~np.isnan(x)]
+    if x.size == 0:
+        raise ConfigurationError("no finite samples for CDF")
+    x = np.sort(x)
+    p = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, p

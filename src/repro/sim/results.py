@@ -1,0 +1,210 @@
+"""Result containers and summaries.
+
+A :class:`SimulationResult` stores the full per-slot, per-user record
+of one run (allocations, deliveries, rebuffering, transmission and
+tail energy, buffer levels, fairness) plus the workload it ran on, and
+derives the paper's headline metrics on demand.  :class:`SummaryStats`
+is the flat snapshot used by the experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimConfig
+from repro.sim.metrics import (
+    average_energy_mj,
+    average_rebuffering_s,
+    empirical_cdf,
+    per_slot_fairness,
+)
+
+__all__ = ["SimulationResult", "SummaryStats"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Headline metrics of one run (units: mJ and seconds per user-slot)."""
+
+    scheduler: str
+    #: Eq. (6) average energy per user-slot, mJ.
+    pe_mj: float
+    #: Eq. (9) average rebuffering per user-slot, s.
+    pc_s: float
+    #: Tail component of ``pe_mj``.
+    pe_tail_mj: float
+    #: Transmission component of ``pe_mj``.
+    pe_trans_mj: float
+    #: Mean per-slot Jain fairness index (NaN slots skipped).
+    mean_fairness: float
+    #: Fraction of slots with fairness index > 0.7 (paper Fig. 2 claim).
+    frac_slots_fair: float
+    #: Fraction of users whose playback completed within the horizon.
+    completion_rate: float
+    #: Total rebuffering per user averaged over users, s.
+    total_rebuffering_per_user_s: float
+    #: Session-window variants of pe/pc (see SimulationResult.session_mask).
+    pe_session_mj: float
+    pc_session_s: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "scheduler": self.scheduler,
+            "pe_mj": self.pe_mj,
+            "pc_s": self.pc_s,
+            "pe_tail_mj": self.pe_tail_mj,
+            "pe_trans_mj": self.pe_trans_mj,
+            "mean_fairness": self.mean_fairness,
+            "frac_slots_fair": self.frac_slots_fair,
+            "completion_rate": self.completion_rate,
+            "total_rebuffering_per_user_s": self.total_rebuffering_per_user_s,
+            "pe_session_mj": self.pe_session_mj,
+            "pc_session_s": self.pc_session_s,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Full record of one simulation run.
+
+    All 2-D arrays have shape ``(n_slots, n_users)``.
+    """
+
+    scheduler_name: str
+    config: SimConfig
+    #: Allocated data units phi_i(n).
+    allocation_units: np.ndarray
+    #: Delivered media, KB (post truncation to remaining bytes).
+    delivered_kb: np.ndarray
+    #: Rebuffering time c_i(n), s.
+    rebuffering_s: np.ndarray
+    #: Transmission energy, mJ (Eq. 3).
+    energy_trans_mj: np.ndarray
+    #: Tail energy, mJ (Eq. 4 incremental).
+    energy_tail_mj: np.ndarray
+    #: Client buffer occupancy r_i(n) at slot start, s.
+    buffer_s: np.ndarray
+    #: Required data amount per slot, KB (tau * p_i(n)).
+    need_kb: np.ndarray
+    #: Active mask (session in progress and bytes outstanding).
+    active: np.ndarray
+    #: Per-user completion slot (-1 if playback unfinished at horizon).
+    completion_slot: np.ndarray
+    #: Per-user session start slot.
+    arrival_slot: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.allocation_units.shape
+        for name in (
+            "delivered_kb",
+            "rebuffering_s",
+            "energy_trans_mj",
+            "energy_tail_mj",
+            "buffer_s",
+            "need_kb",
+            "active",
+        ):
+            if getattr(self, name).shape != shape:
+                raise ConfigurationError(f"{name} shape mismatch: expected {shape}")
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def energy_mj(self) -> np.ndarray:
+        """Total per-slot energy (transmission + tail), Eq. (5)."""
+        return self.energy_trans_mj + self.energy_tail_mj
+
+    @property
+    def pe_mj(self) -> float:
+        """Eq. (6)."""
+        return average_energy_mj(self.energy_mj)
+
+    @property
+    def pc_s(self) -> float:
+        """Eq. (9)."""
+        return average_rebuffering_s(self.rebuffering_s)
+
+    def fairness_per_slot(self, min_active: int = 2) -> np.ndarray:
+        """Per-slot Jain index of allocation-vs-need (Section VI-A).
+
+        Slots with fewer than ``min_active`` competing users are NaN
+        (fairness measures BS contention; see
+        :func:`repro.sim.metrics.per_slot_fairness`).
+        """
+        return per_slot_fairness(
+            self.delivered_kb, self.need_kb, self.active, min_active
+        )
+
+    def fairness_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """CDF data for Fig. 2 / Fig. 6 (contended slots only)."""
+        return empirical_cdf(self.fairness_per_slot())
+
+    def rebuffering_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """CDF of *per-user total* rebuffering (Fig. 3's 0-20 s scale)."""
+        return empirical_cdf(self.per_user_total_rebuffering_s())
+
+    def slot_rebuffering_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """CDF of per-slot per-user rebuffering over active user-slots."""
+        return empirical_cdf(self.rebuffering_s[self.active])
+
+    def power_per_slot_mj(self) -> np.ndarray:
+        """Aggregate energy across users per slot, mJ (Fig. 7 series)."""
+        return self.energy_mj.sum(axis=1)
+
+    def per_user_total_rebuffering_s(self) -> np.ndarray:
+        return self.rebuffering_s.sum(axis=0)
+
+    def per_user_total_energy_mj(self) -> np.ndarray:
+        return self.energy_mj.sum(axis=0)
+
+    def session_mask(self) -> np.ndarray:
+        """Boolean ``(slots, users)``: slot lies within the user's session.
+
+        A session spans arrival through playback completion (through
+        the horizon if playback never completed).  The paper's Eq. (6)
+        and Eq. (9) normalise by the scheduling period ``Gamma``; its
+        reported magnitudes, however, match per-*session* averages
+        (energy/rebuffering after a session ends is identically ~0, so
+        horizon averages dilute with ``Gamma``).  Both views are
+        exposed: :attr:`pe_mj`/:attr:`pc_s` for literal Eq. (6)/(9) and
+        :attr:`pe_session_mj`/:attr:`pc_session_s` for session windows.
+        """
+        n_slots, n_users = self.allocation_units.shape
+        slots = np.arange(n_slots)[:, None]
+        end = np.where(self.completion_slot >= 0, self.completion_slot, n_slots - 1)
+        return (slots >= self.arrival_slot[None, :]) & (slots <= end[None, :])
+
+    @property
+    def pe_session_mj(self) -> float:
+        """Mean energy per user-slot within session windows, mJ."""
+        mask = self.session_mask()
+        return float(self.energy_mj[mask].mean())
+
+    @property
+    def pc_session_s(self) -> float:
+        """Mean rebuffering per user-slot within session windows, s."""
+        mask = self.session_mask()
+        return float(self.rebuffering_s[mask].mean())
+
+    def summary(self) -> SummaryStats:
+        fairness = self.fairness_per_slot()
+        finite = fairness[~np.isnan(fairness)]
+        completed = self.completion_slot >= 0
+        return SummaryStats(
+            scheduler=self.scheduler_name,
+            pe_mj=self.pe_mj,
+            pc_s=self.pc_s,
+            pe_tail_mj=average_energy_mj(self.energy_tail_mj),
+            pe_trans_mj=average_energy_mj(self.energy_trans_mj),
+            mean_fairness=float(finite.mean()) if finite.size else float("nan"),
+            frac_slots_fair=float((finite > 0.7).mean()) if finite.size else float("nan"),
+            completion_rate=float(completed.mean()),
+            total_rebuffering_per_user_s=float(
+                self.per_user_total_rebuffering_s().mean()
+            ),
+            pe_session_mj=self.pe_session_mj,
+            pc_session_s=self.pc_session_s,
+        )

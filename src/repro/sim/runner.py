@@ -1,0 +1,273 @@
+"""High-level run orchestration: comparisons, sweeps, calibration.
+
+The paper's evaluation protocol has a two-stage structure: first run
+the *default* strategy to measure ``E_default`` / ``R_default``, then
+configure RTMA with ``Phi = alpha * E_default`` (or pick EMA's ``V``
+for a rebuffering bound ``Omega = beta * R_default``) and re-run on
+the **same workload**.  The helpers here encode that protocol so the
+experiment scripts and benches stay declarative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.default import DefaultScheduler
+from repro.core.ema import EMAScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.errors import ConfigurationError
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.sim.workload import Workload, generate_workload
+
+__all__ = [
+    "run_scheduler",
+    "compare_schedulers",
+    "sweep",
+    "default_reference",
+    "calibrate_rtma_threshold",
+    "make_rtma_for_alpha",
+    "make_rtma_eq12",
+    "calibrate_ema_v",
+    "multi_seed",
+]
+
+
+def run_scheduler(
+    config: SimConfig, scheduler, workload: Workload | None = None
+) -> SimulationResult:
+    """Run one scheduler on one (optionally shared) workload."""
+    return Simulation(config, scheduler, workload).run()
+
+
+def compare_schedulers(
+    config: SimConfig,
+    schedulers: Mapping[str, object],
+    workload: Workload | None = None,
+) -> dict[str, SimulationResult]:
+    """Run several schedulers on the *identical* workload.
+
+    Returns results keyed like the input mapping, preserving order.
+    """
+    if not schedulers:
+        raise ConfigurationError("need at least one scheduler")
+    wl = workload if workload is not None else generate_workload(config)
+    return {name: run_scheduler(config, sched, wl) for name, sched in schedulers.items()}
+
+
+def sweep(
+    base_config: SimConfig,
+    axis: str,
+    values: Sequence,
+    scheduler_factory: Callable[[SimConfig], object],
+) -> list[SimulationResult]:
+    """Vary one config axis, building a fresh scheduler per point.
+
+    ``scheduler_factory`` receives the point's config — this is where
+    calibrated policies (RTMA with alpha-scaled budgets) plug in.
+    """
+    results = []
+    for value in values:
+        cfg = base_config.with_(**{axis: value})
+        results.append(run_scheduler(cfg, scheduler_factory(cfg)))
+    return results
+
+
+def default_reference(
+    config: SimConfig, workload: Workload | None = None
+) -> SimulationResult:
+    """The paper's reference run: the default strategy on this workload."""
+    return run_scheduler(config, DefaultScheduler(), workload)
+
+
+def calibrate_rtma_threshold(
+    config: SimConfig,
+    alpha: float,
+    workload: Workload | None = None,
+    iterations: int = 9,
+    calibration_slots: int | None = None,
+) -> float:
+    """Find the least-restrictive signal threshold meeting the Eq. (10)
+    budget ``Phi = alpha * E_default``.
+
+    The paper's Eq. (12) maps the budget to a signal threshold assuming
+    the threshold user transmits at its *full* link rate.  In
+    capacity-shared regimes the realized per-user energy sits well
+    below that analytic band, so we recover the threshold the paper's
+    conversion is *for* — "do not schedule users whose signal is too
+    weak for the budget" — empirically: bisect the threshold on a
+    shortened run until RTMA's measured PE meets ``alpha`` times the
+    default strategy's PE *on the same horizon* (horizon-consistent,
+    since PE dilutes once sessions complete).  Returns ``-inf`` when
+    unconstrained RTMA already fits the budget.
+    """
+    if alpha <= 0:
+        raise ConfigurationError("alpha must be positive")
+    slots = calibration_slots or min(config.n_slots, 2000)
+    cal_cfg = config.with_(n_slots=slots)
+    wl = None
+    if workload is not None and workload.n_slots >= slots:
+        wl = workload
+    if wl is None:
+        wl = generate_workload(cal_cfg)
+    budget = alpha * default_reference(cal_cfg, wl).pe_mj
+    sig_model = cal_cfg.make_signal_model()
+
+    def pe_for(threshold: float) -> float:
+        sched = RTMAScheduler(sig_threshold_dbm=threshold)
+        return run_scheduler(cal_cfg, sched, wl).pe_mj
+
+    if pe_for(float("-inf")) <= budget:
+        return float("-inf")
+    # PE is not monotone in the threshold (a stricter threshold trades
+    # transmission energy for extra tail toggling), so scan a grid
+    # instead of bisecting.  Feasible -> least restrictive feasible
+    # point (smallest rebuffering impact); infeasible -> best effort,
+    # the PE-minimizing threshold.
+    lo, hi = sig_model.sig_min, sig_model.sig_max
+    # Sample densely near the weak end where clipped trace mass makes
+    # eligibility jump, then evenly across the range.
+    grid = np.unique(
+        np.concatenate(
+            [
+                np.array([lo + 0.01 * (hi - lo)]),
+                np.linspace(lo, hi, max(iterations, 3)),
+            ]
+        )
+    )
+    pes = np.array([pe_for(float(t)) for t in grid])
+    feasible = pes <= budget
+    if np.any(feasible):
+        return float(grid[np.argmax(feasible)])  # weakest feasible threshold
+    return float(grid[np.argmin(pes)])
+
+
+def make_rtma_for_alpha(
+    config: SimConfig,
+    alpha: float = 1.0,
+    workload: Workload | None = None,
+    reference: SimulationResult | None = None,
+) -> RTMAScheduler:
+    """Build RTMA with ``Phi = alpha * E_default`` (Section VI-A).
+
+    ``reference`` is accepted for API symmetry but the budget is
+    re-measured on the calibration horizon for consistency (see
+    :func:`calibrate_rtma_threshold`).
+    """
+    del reference  # budget must be horizon-consistent; re-measured inside
+    threshold = calibrate_rtma_threshold(config, alpha, workload)
+    return RTMAScheduler(sig_threshold_dbm=threshold)
+
+
+def make_rtma_eq12(
+    config: SimConfig, energy_budget_mj_per_slot: float
+) -> RTMAScheduler:
+    """RTMA with the paper's literal Eq. (12) threshold conversion.
+
+    Only meaningful when the budget lies inside the analytic band
+    ``[0.5*(R_min + P_tail), 0.5*(R_max + P_tail)]`` of full-rate radio
+    powers; see :func:`repro.core.rtma.signal_threshold_for_energy_budget`.
+    """
+    radio = config.radio
+    return RTMAScheduler(
+        energy_budget_mj_per_slot=energy_budget_mj_per_slot,
+        power_model=radio.power,
+        tau_s=config.tau_s,
+        p_tail_mw=radio.rrc.pd_mw,
+    )
+
+
+def calibrate_ema_v(
+    config: SimConfig,
+    rebuffering_bound_s: float,
+    workload: Workload | None = None,
+    v_lo: float = 1e-5,
+    v_hi: float = 50.0,
+    iterations: int = 12,
+    calibration_slots: int | None = None,
+) -> float:
+    """Pick EMA's ``V`` so measured PC approaches a bound ``Omega``.
+
+    The paper states the bound (Eq. 13) but Algorithm 2 only exposes
+    ``V``; Theorem 1 guarantees PC grows (at most linearly) with ``V``
+    *asymptotically*, but finite-horizon PC(V) is noisy, so instead of
+    bisecting we scan a geometric V grid and return the largest value
+    whose measured rebuffering stays within the bound (the most
+    energy-saving feasible setting).  If no grid point is feasible,
+    the PC-minimizing one is returned as best effort.
+    """
+    if rebuffering_bound_s <= 0:
+        raise ConfigurationError("rebuffering bound must be positive")
+    if not 0 < v_lo < v_hi:
+        raise ConfigurationError("need 0 < v_lo < v_hi")
+    slots = calibration_slots or min(config.n_slots, 1500)
+    cal_cfg = config.with_(n_slots=slots)
+    wl = workload if workload is not None else generate_workload(cal_cfg)
+
+    def run_v(v: float):
+        sched = EMAScheduler(cal_cfg.n_users, v_param=v, tau_s=cal_cfg.tau_s)
+        res = run_scheduler(cal_cfg, sched, wl)
+        return res.pc_s, res.pe_mj
+
+    grid = np.geomspace(v_lo, v_hi, max(iterations, 4))
+    measured = [run_v(float(v)) for v in grid]
+    pcs = np.array([m[0] for m in measured])
+    pes = np.array([m[1] for m in measured])
+    feasible = np.flatnonzero(pcs <= rebuffering_bound_s)
+    if feasible.size:
+        # Most energy-saving feasible setting: PE(V) is not monotone
+        # once tails and receiver windows bite, so pick by measured PE
+        # rather than by V.
+        return float(grid[feasible[np.argmin(pes[feasible])]])
+    return float(grid[np.argmin(pcs)])
+
+
+def calibrate_ema_v_to_reference(
+    config: SimConfig,
+    reference_scheduler_factory: Callable[[], object],
+    beta: float = 1.0,
+    workload: Workload | None = None,
+    iterations: int = 8,
+    calibration_slots: int | None = None,
+) -> float:
+    """Calibrate EMA's ``V`` to ``Omega = beta * PC(reference)``.
+
+    Both the reference rebuffering and EMA's are measured on the *same*
+    shortened horizon — PC dilutes once sessions complete, so mixing
+    horizons (bounding a short-horizon EMA by a long-horizon reference)
+    systematically over-tightens the bound.
+    """
+    if beta <= 0:
+        raise ConfigurationError("beta must be positive")
+    slots = calibration_slots or min(config.n_slots, 1500)
+    cal_cfg = config.with_(n_slots=slots)
+    wl = None
+    if workload is not None and workload.n_slots >= slots:
+        wl = workload
+    if wl is None:
+        wl = generate_workload(cal_cfg)
+    ref_pc = run_scheduler(cal_cfg, reference_scheduler_factory(), wl).pc_s
+    omega = beta * max(ref_pc, 1e-4)
+    return calibrate_ema_v(
+        cal_cfg,
+        omega,
+        workload=wl,
+        iterations=iterations,
+        calibration_slots=slots,
+    )
+
+
+def multi_seed(
+    config: SimConfig,
+    scheduler_factory: Callable[[SimConfig], object],
+    seeds: Iterable[int],
+) -> list[SimulationResult]:
+    """Replicate a run across seeds (for confidence intervals)."""
+    out = []
+    for seed in seeds:
+        cfg = config.with_(seed=seed)
+        out.append(run_scheduler(cfg, scheduler_factory(cfg)))
+    return out

@@ -1,0 +1,199 @@
+"""Tests for the five reimplemented baseline schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import DefaultScheduler, NeedRateScheduler
+from repro.baselines.estreamer import EStreamerScheduler
+from repro.baselines.onoff import OnOffScheduler
+from repro.baselines.salsa import SalsaScheduler
+from repro.baselines.throttling import ThrottlingScheduler
+from repro.core.allocation import check_constraints
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_obs
+
+ALL_BASELINES = [
+    DefaultScheduler,
+    NeedRateScheduler,
+    ThrottlingScheduler,
+    OnOffScheduler,
+    SalsaScheduler,
+    EStreamerScheduler,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+class TestCommonContract:
+    def test_constraints_on_random_observations(self, cls, rng):
+        sched = cls()
+        for slot in range(40):
+            n = int(rng.integers(1, 8))
+            sched.reset()
+            obs = make_obs(
+                n_users=n,
+                slot=slot,
+                unit_budget=int(rng.integers(0, 60)),
+                link_units=rng.integers(0, 25, n),
+                rate_kbps=rng.uniform(300, 600, n),
+                sig_dbm=rng.uniform(-110, -50, n),
+                active=rng.random(n) < 0.8,
+                buffer_s=rng.uniform(0, 80, n),
+                remaining_kb=rng.uniform(0, 5000, n),
+            )
+            phi = sched.allocate(obs)
+            check_constraints(phi, obs)
+
+    def test_inactive_users_get_zero(self, cls, rng):
+        sched = cls()
+        obs = make_obs(n_users=3, active=[False, True, False])
+        phi = sched.allocate(obs)
+        assert phi[0] == 0 and phi[2] == 0
+
+
+class TestDefault:
+    def test_default_takes_full_link(self):
+        obs = make_obs(n_users=2, unit_budget=100, link_units=[30, 30])
+        phi = DefaultScheduler().allocate(obs)
+        np.testing.assert_array_equal(phi, [30, 30])
+
+    def test_head_of_line_starvation_under_scarcity(self):
+        obs = make_obs(n_users=3, unit_budget=25, link_units=[20, 20, 20])
+        phi = DefaultScheduler().allocate(obs)
+        np.testing.assert_array_equal(phi, [20, 5, 0])
+
+    def test_default_respects_receiver_window(self):
+        obs = make_obs(
+            n_users=1, unit_budget=100, link_units=[50], receivable_kb=[100.0]
+        )
+        phi = DefaultScheduler().allocate(obs)
+        assert phi[0] == 3  # ceil(100/40)
+
+    def test_need_rate_serves_exactly_need(self):
+        obs = make_obs(n_users=2, unit_budget=30, link_units=[20, 20])
+        phi = NeedRateScheduler().allocate(obs)
+        need = 12  # ceil(450/40)
+        np.testing.assert_array_equal(phi, [need, need])
+
+
+class TestThrottling:
+    def test_rate_factor_applied(self):
+        obs = make_obs(n_users=1, unit_budget=100, rate_kbps=[400.0])
+        phi = ThrottlingScheduler(factor=1.25).allocate(obs)
+        assert phi[0] == int(np.ceil(1.25 * 400.0 / 40.0))  # 13 units
+
+    def test_transmits_every_slot(self):
+        sched = ThrottlingScheduler()
+        obs = make_obs(n_users=1, unit_budget=100, buffer_s=[500.0])
+        assert sched.allocate(obs)[0] > 0  # no OFF state, ever
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ThrottlingScheduler(factor=1.0)
+
+
+class TestOnOff:
+    def test_starts_on_with_empty_buffer(self):
+        sched = OnOffScheduler()
+        obs = make_obs(n_users=1, buffer_s=[0.0], unit_budget=100)
+        assert sched.allocate(obs)[0] > 0
+
+    def test_turns_off_above_high_threshold(self):
+        sched = OnOffScheduler(low_threshold_s=10.0, high_threshold_s=40.0)
+        obs = make_obs(n_users=1, buffer_s=[45.0], unit_budget=100)
+        assert sched.allocate(obs)[0] == 0
+
+    def test_hysteresis_band_keeps_state(self):
+        sched = OnOffScheduler(low_threshold_s=10.0, high_threshold_s=40.0)
+        # Start ON (empty), then buffer at 20 s (inside band): stays ON.
+        sched.allocate(make_obs(n_users=1, buffer_s=[0.0], unit_budget=100))
+        assert sched.allocate(make_obs(n_users=1, buffer_s=[20.0], unit_budget=100))[0] > 0
+        # Cross high threshold: OFF; back inside band: stays OFF.
+        sched.allocate(make_obs(n_users=1, buffer_s=[41.0], unit_budget=100))
+        assert sched.allocate(make_obs(n_users=1, buffer_s=[20.0], unit_budget=100))[0] == 0
+        # Below low threshold: ON again.
+        assert sched.allocate(make_obs(n_users=1, buffer_s=[9.0], unit_budget=100))[0] > 0
+
+    def test_reset_clears_state(self):
+        sched = OnOffScheduler()
+        sched.allocate(make_obs(n_users=1, buffer_s=[50.0]))
+        sched.reset()
+        assert sched._on is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnOffScheduler(low_threshold_s=0.0)
+        with pytest.raises(ConfigurationError):
+            OnOffScheduler(low_threshold_s=10.0, high_threshold_s=5.0)
+
+
+class TestSalsa:
+    def test_defers_until_backlog_exceeds_price(self):
+        sched = SalsaScheduler(v_salsa=8.0)
+        obs = make_obs(n_users=1, rate_kbps=[400.0], p_mj_per_kb=[0.198])
+        # Price at reference signal = 8 s; backlog grows 1 s/slot.
+        sends = []
+        for slot in range(12):
+            phi = sched.allocate(obs)
+            sends.append(int(phi[0]))
+            sched.notify(obs, phi, phi * 40.0)
+        assert sum(sends[:8]) == 0  # deferred while backlog <= price
+        assert any(s > 0 for s in sends[8:])
+
+    def test_bad_signal_defers_longer(self):
+        cheap = SalsaScheduler(v_salsa=2.0)
+        exp = SalsaScheduler(v_salsa=2.0)
+        obs_good = make_obs(n_users=1, p_mj_per_kb=[0.198])
+        obs_bad = make_obs(n_users=1, p_mj_per_kb=[2.0])
+        fired_good = fired_bad = None
+        for slot in range(40):
+            if fired_good is None and cheap.allocate(obs_good)[0] > 0:
+                fired_good = slot
+            if fired_bad is None and exp.allocate(obs_bad)[0] > 0:
+                fired_bad = slot
+            cheap.notify(obs_good, np.zeros(1, np.int64), np.zeros(1))
+            exp.notify(obs_bad, np.zeros(1, np.int64), np.zeros(1))
+        assert fired_good is not None and fired_bad is not None
+        assert fired_good < fired_bad
+
+    def test_queue_drains_on_delivery(self):
+        sched = SalsaScheduler()
+        obs = make_obs(n_users=1)
+        sched.allocate(obs)
+        q_before = sched._queue_kb[0]
+        sched.notify(obs, np.array([2]), np.array([80.0]))
+        assert sched._queue_kb[0] == pytest.approx(max(q_before - 80.0, 0.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SalsaScheduler(v_salsa=0.0)
+        with pytest.raises(ConfigurationError):
+            SalsaScheduler(p_ref_mj_per_kb=0.0)
+
+
+class TestEStreamer:
+    def test_burst_fills_toward_capacity(self):
+        sched = EStreamerScheduler(buffer_capacity_s=60.0, refill_trigger_s=8.0)
+        obs = make_obs(n_users=1, buffer_s=[0.0], unit_budget=1000, link_units=[1000])
+        phi = sched.allocate(obs)
+        # Wants the full 60 s deficit: 60 * 450 / 40 = 675 units.
+        assert phi[0] == int(np.ceil(60.0 * 450.0 / 40.0))
+
+    def test_burst_ends_near_capacity(self):
+        sched = EStreamerScheduler(buffer_capacity_s=60.0, refill_trigger_s=8.0)
+        obs = make_obs(n_users=1, buffer_s=[59.5], unit_budget=1000)
+        assert sched.allocate(obs)[0] == 0  # within tau of the cap
+
+    def test_idle_between_bursts(self):
+        sched = EStreamerScheduler(buffer_capacity_s=60.0, refill_trigger_s=8.0)
+        sched.allocate(make_obs(n_users=1, buffer_s=[59.5], unit_budget=1000))
+        # Buffer drains but stays above the trigger: still idle.
+        assert sched.allocate(make_obs(n_users=1, buffer_s=[30.0], unit_budget=1000))[0] == 0
+        # Below the trigger: burst again.
+        assert sched.allocate(make_obs(n_users=1, buffer_s=[7.0], unit_budget=1000))[0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EStreamerScheduler(refill_trigger_s=0.0)
+        with pytest.raises(ConfigurationError):
+            EStreamerScheduler(buffer_capacity_s=5.0, refill_trigger_s=8.0)

@@ -1,0 +1,86 @@
+"""Tests for constraint validation and repair (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import check_constraints, clip_to_constraints
+from repro.errors import ConstraintViolationError
+
+from tests.conftest import make_obs
+
+
+class TestCheck:
+    def test_valid_allocation_passes(self):
+        obs = make_obs(n_users=3, unit_budget=30, link_units=[10, 10, 10])
+        check_constraints(np.array([10, 10, 10]), obs)
+
+    def test_link_cap_violation(self):
+        obs = make_obs(n_users=2, link_units=[5, 5])
+        with pytest.raises(ConstraintViolationError, match="Eq. 1"):
+            check_constraints(np.array([6, 0]), obs)
+
+    def test_budget_violation(self):
+        obs = make_obs(n_users=2, unit_budget=8, link_units=[5, 5])
+        with pytest.raises(ConstraintViolationError, match="Eq. 2"):
+            check_constraints(np.array([5, 4]), obs)
+
+    def test_negative_rejected(self):
+        obs = make_obs(n_users=2)
+        with pytest.raises(ConstraintViolationError, match="negative"):
+            check_constraints(np.array([-1, 0]), obs)
+
+    def test_float_dtype_rejected(self):
+        obs = make_obs(n_users=2)
+        with pytest.raises(ConstraintViolationError, match="dtype"):
+            check_constraints(np.array([1.0, 0.0]), obs)
+
+    def test_inactive_user_allocation_rejected(self):
+        obs = make_obs(n_users=2, active=[True, False])
+        with pytest.raises(ConstraintViolationError, match="inactive"):
+            check_constraints(np.array([0, 1]), obs)
+
+    def test_shape_mismatch(self):
+        obs = make_obs(n_users=2)
+        with pytest.raises(ConstraintViolationError, match="shape"):
+            check_constraints(np.array([1, 1, 1]), obs)
+
+
+class TestClip:
+    def test_within_limits_untouched(self):
+        obs = make_obs(n_users=3, unit_budget=100, link_units=[20, 20, 20])
+        phi = clip_to_constraints(np.array([5, 5, 5]), obs)
+        np.testing.assert_array_equal(phi, [5, 5, 5])
+
+    def test_per_user_cap_applied(self):
+        obs = make_obs(n_users=2, unit_budget=100, link_units=[3, 3])
+        phi = clip_to_constraints(np.array([10, 10]), obs)
+        np.testing.assert_array_equal(phi, [3, 3])
+
+    def test_head_of_line_truncation(self):
+        obs = make_obs(n_users=3, unit_budget=10, link_units=[8, 8, 8])
+        phi = clip_to_constraints(np.array([8, 8, 8]), obs)
+        np.testing.assert_array_equal(phi, [8, 2, 0])
+        assert phi.sum() == 10
+
+    def test_inactive_zeroed(self):
+        obs = make_obs(n_users=2, active=[False, True], unit_budget=100)
+        phi = clip_to_constraints(np.array([5, 5]), obs)
+        assert phi[0] == 0 and phi[1] == 5
+
+    def test_fractional_desired_floored(self):
+        obs = make_obs(n_users=1, unit_budget=100)
+        phi = clip_to_constraints(np.array([4.9]), obs)
+        assert phi[0] == 4
+
+    def test_result_always_valid(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 8))
+            obs = make_obs(
+                n_users=n,
+                unit_budget=int(rng.integers(0, 40)),
+                link_units=rng.integers(0, 20, n),
+                active=rng.random(n) < 0.8,
+            )
+            desired = rng.uniform(-5, 30, n)
+            phi = clip_to_constraints(desired, obs)
+            check_constraints(phi, obs)

@@ -1,0 +1,62 @@
+"""Tests for the reference knapsack solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import brute_force_slot_minimum, exact_slot_minimum
+from repro.errors import ConfigurationError
+
+
+def random_instance(rng, n_max=4, cap_max=6):
+    n = int(rng.integers(1, n_max + 1))
+    tables = [rng.normal(0, 10, int(rng.integers(1, cap_max + 1))) for _ in range(n)]
+    budget = int(rng.integers(0, 12))
+    return tables, budget
+
+
+class TestBruteForce:
+    def test_single_user(self):
+        val, alloc = brute_force_slot_minimum([np.array([5.0, 3.0, 7.0])], 10)
+        assert val == 3.0
+        assert alloc.tolist() == [1]
+
+    def test_budget_binds(self):
+        # Both users want phi=2 but budget only allows 2 total.
+        t = np.array([10.0, 5.0, 0.0])
+        val, alloc = brute_force_slot_minimum([t, t], 2)
+        assert val == 10.0  # (0,2) or (2,0) or (1,1) -> best is 0+10 or 5+5
+        assert alloc.sum() <= 2
+
+    def test_zero_budget(self):
+        val, alloc = brute_force_slot_minimum(
+            [np.array([2.0, -9.0]), np.array([4.0, -9.0])], 0
+        )
+        assert val == 6.0
+        assert alloc.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            brute_force_slot_minimum([], 5)
+        with pytest.raises(ConfigurationError):
+            brute_force_slot_minimum([np.array([1.0])], -1)
+        with pytest.raises(ConfigurationError):
+            brute_force_slot_minimum([np.array([np.nan])], 1)
+
+
+class TestExactDP:
+    def test_matches_brute_force(self, rng):
+        for _ in range(150):
+            tables, budget = random_instance(rng)
+            bf_val, _ = brute_force_slot_minimum(tables, budget)
+            dp_val, dp_alloc = exact_slot_minimum(tables, budget)
+            assert dp_val == pytest.approx(bf_val, abs=1e-9)
+            # Returned allocation achieves the value and fits budget.
+            achieved = sum(t[a] for t, a in zip(tables, dp_alloc))
+            assert achieved == pytest.approx(dp_val, abs=1e-9)
+            assert dp_alloc.sum() <= budget
+            assert all(0 <= a < len(t) for t, a in zip(tables, dp_alloc))
+
+    def test_prefers_smaller_phi_on_ties(self):
+        t = np.array([1.0, 1.0, 1.0])
+        _, alloc = exact_slot_minimum([t], 2)
+        assert alloc[0] == 0

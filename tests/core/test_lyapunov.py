@@ -1,0 +1,110 @@
+"""Tests for the Lyapunov machinery and Theorem 1 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.lyapunov import (
+    VirtualQueues,
+    drift,
+    drift_bound_constant,
+    lyapunov_function,
+    theorem1_energy_bound,
+    theorem1_rebuffering_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestVirtualQueues:
+    def test_eq16_update(self):
+        q = VirtualQueues(2, tau_s=1.0)
+        q.update(np.array([0.4, 1.5]), np.array([True, True]))
+        np.testing.assert_allclose(q.values, [0.6, -0.5])
+
+    def test_masked_users_frozen(self):
+        q = VirtualQueues(2, tau_s=1.0)
+        q.update(np.array([0.0, 0.0]), np.array([True, False]))
+        np.testing.assert_allclose(q.values, [1.0, 0.0])
+
+    def test_accumulation_matches_eq15(self):
+        # PC(Gamma) = tau*Gamma - sum(t): queue after Gamma updates.
+        q = VirtualQueues(1, tau_s=1.0)
+        ts = [0.3, 1.2, 0.8, 0.0, 2.0]
+        for t in ts:
+            q.update(np.array([t]), np.array([True]))
+        assert q.values[0] == pytest.approx(5.0 - sum(ts))
+
+    def test_reset(self):
+        q = VirtualQueues(3, tau_s=1.0)
+        q.update(np.zeros(3), np.ones(3, dtype=bool))
+        q.reset()
+        assert (q.values == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VirtualQueues(0, 1.0)
+        q = VirtualQueues(2, 1.0)
+        with pytest.raises(ConfigurationError):
+            q.update(np.array([-0.1, 0.0]), np.array([True, True]))
+        with pytest.raises(ConfigurationError):
+            q.update(np.zeros(3), np.ones(3, dtype=bool))
+
+
+class TestLyapunovFunction:
+    def test_eq17(self):
+        assert lyapunov_function(np.array([3.0, -4.0])) == pytest.approx(12.5)
+        assert lyapunov_function(np.zeros(5)) == 0.0
+
+    def test_drift(self):
+        before = np.array([1.0, 1.0])
+        after = np.array([2.0, 0.0])
+        assert drift(before, after) == pytest.approx(2.0 - 1.0)
+
+    def test_queues_lyapunov_method(self):
+        q = VirtualQueues(2, 1.0)
+        q.values = np.array([1.0, 2.0])
+        assert q.lyapunov() == pytest.approx(2.5)
+
+
+class TestTheorem1:
+    def test_b_constant(self):
+        # B = 0.5 * N * (tau^2 + t_max^2)
+        assert drift_bound_constant(1.0, 3.0, 4) == pytest.approx(0.5 * 4 * 10.0)
+
+    def test_energy_bound_decreases_in_v(self):
+        b = 100.0
+        assert theorem1_energy_bound(50.0, b, 10.0) > theorem1_energy_bound(
+            50.0, b, 100.0
+        )
+        assert theorem1_energy_bound(50.0, b, 1e12) == pytest.approx(50.0, rel=1e-6)
+
+    def test_rebuffering_bound_increases_in_v(self):
+        assert theorem1_rebuffering_bound(50.0, 100.0, 10.0, 1.0) < (
+            theorem1_rebuffering_bound(50.0, 100.0, 100.0, 1.0)
+        )
+
+    def test_bound_formulas(self):
+        assert theorem1_energy_bound(10.0, 20.0, 4.0) == pytest.approx(15.0)
+        assert theorem1_rebuffering_bound(10.0, 20.0, 4.0, 2.0) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            drift_bound_constant(0.0, 1.0, 1)
+        with pytest.raises(ConfigurationError):
+            theorem1_energy_bound(1.0, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            theorem1_rebuffering_bound(1.0, 1.0, 1.0, 0.0)
+
+    def test_drift_plus_penalty_inequality_empirical(self, rng):
+        """Eq. (18): per-slot drift <= B + sum PC_i (tau - t_i) when
+        t <= t_max.  Verified on random queue states and deliveries."""
+        n, tau, t_max = 5, 1.0, 4.0
+        b = drift_bound_constant(tau, t_max, n)
+        for _ in range(200):
+            q = VirtualQueues(n, tau)
+            q.values = rng.normal(0, 20, n)
+            before = q.values.copy()
+            t = rng.uniform(0, t_max, n)
+            q.update(t, np.ones(n, dtype=bool))
+            lhs = drift(before, q.values)
+            rhs = b + float(np.sum(before * (tau - t)))
+            assert lhs <= rhs + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for RTMA (Algorithm 1) and the Eq. (12) threshold."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import check_constraints
+from repro.core.rtma import RTMAScheduler, signal_threshold_for_energy_budget
+from repro.errors import ConfigurationError
+from repro.radio.power import EnviPowerModel
+
+from tests.conftest import make_obs
+
+
+class TestEq12Threshold:
+    def test_in_band_budget_roundtrip(self):
+        model = EnviPowerModel()
+        # Pick a budget from a known threshold and invert.
+        for sig in (-100.0, -80.0, -60.0):
+            radio_power = float(model.radio_power_mw(sig))
+            phi_budget = 0.5 * (radio_power * 1.0 + 1.0 * 732.83)
+            thr = signal_threshold_for_energy_budget(phi_budget, model)
+            assert thr == pytest.approx(sig, abs=1e-6)
+
+    def test_loose_budget_unrestricted(self):
+        model = EnviPowerModel()
+        # Budget implying radio power above the fit's supremum (1560 mW).
+        thr = signal_threshold_for_energy_budget(2000.0, model)
+        assert thr == float("-inf")
+
+    def test_tight_budget_unattainable(self):
+        model = EnviPowerModel()
+        thr = signal_threshold_for_energy_budget(1.0, model)
+        assert thr == float("inf")
+
+    def test_tighter_budget_stronger_threshold(self):
+        model = EnviPowerModel()
+        t_tight = signal_threshold_for_energy_budget(800.0, model)
+        t_loose = signal_threshold_for_energy_budget(1000.0, model)
+        assert t_tight > t_loose  # tighter budget demands stronger signal
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            signal_threshold_for_energy_budget(0.0, EnviPowerModel())
+        with pytest.raises(ConfigurationError):
+            signal_threshold_for_energy_budget(1.0, EnviPowerModel(), tau_s=0.0)
+
+
+class TestRTMAAllocation:
+    def test_satisfies_constraints(self, rng):
+        sched = RTMAScheduler()
+        for _ in range(30):
+            n = int(rng.integers(1, 10))
+            obs = make_obs(
+                n_users=n,
+                unit_budget=int(rng.integers(0, 80)),
+                link_units=rng.integers(0, 30, n),
+                rate_kbps=rng.uniform(300, 600, n),
+                sig_dbm=rng.uniform(-110, -50, n),
+                active=rng.random(n) < 0.8,
+                remaining_kb=rng.uniform(0, 5000, n),
+            )
+            phi = sched.allocate(obs)
+            check_constraints(phi, obs)
+
+    def test_needs_met_when_capacity_suffices(self):
+        obs = make_obs(
+            n_users=4, unit_budget=500, rate_kbps=[300.0, 400.0, 500.0, 600.0]
+        )
+        phi = RTMAScheduler().allocate(obs)
+        need = np.ceil(obs.rate_kbps / 40.0)
+        assert (phi >= need).all()
+
+    def test_ascending_rate_priority_under_scarcity(self):
+        # Budget covers only the cheapest user's need.
+        obs = make_obs(
+            n_users=3, unit_budget=8, rate_kbps=[600.0, 300.0, 450.0]
+        )
+        phi = RTMAScheduler().allocate(obs)
+        # User 1 (300 KB/s -> 8 units) is served first and fully.
+        assert phi[1] == 8
+        assert phi[0] == 0 and phi[2] == 0
+
+    def test_extra_rounds_use_leftover_capacity(self):
+        # One user, plenty of budget: rounds keep granting need-sized
+        # chunks up to the link cap.
+        obs = make_obs(n_users=1, unit_budget=100, link_units=[50])
+        phi = RTMAScheduler().allocate(obs)
+        assert phi[0] == 50  # link-capped, not need-capped
+
+    def test_threshold_excludes_weak_signals(self):
+        obs = make_obs(n_users=2, sig_dbm=[-100.0, -60.0], unit_budget=100)
+        sched = RTMAScheduler(sig_threshold_dbm=-70.0)
+        phi = sched.allocate(obs)
+        assert phi[0] == 0
+        assert phi[1] > 0
+
+    def test_no_threshold_means_all_eligible(self):
+        obs = make_obs(n_users=2, sig_dbm=[-109.0, -51.0], unit_budget=100)
+        phi = RTMAScheduler().allocate(obs)
+        assert (phi > 0).all()
+
+    def test_never_allocates_past_video_end(self):
+        obs = make_obs(n_users=1, remaining_kb=[70.0], unit_budget=100)
+        phi = RTMAScheduler().allocate(obs)
+        assert phi[0] == 2  # ceil(70/40)
+
+    def test_inactive_and_zero_budget(self):
+        obs = make_obs(n_users=2, active=[False, False])
+        assert RTMAScheduler().allocate(obs).sum() == 0
+        obs = make_obs(n_users=2, unit_budget=0)
+        assert RTMAScheduler().allocate(obs).sum() == 0
+
+    def test_budget_exhausted_in_rate_order(self):
+        # Two users, budget covers 1.5 needs: cheaper user fully served,
+        # the other gets the remainder.
+        obs = make_obs(n_users=2, unit_budget=12, rate_kbps=[300.0, 600.0])
+        phi = RTMAScheduler().allocate(obs)
+        assert phi[0] == 8  # ceil(300/40) = 8 per round
+        assert phi[1] == 4
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            RTMAScheduler(energy_budget_mj_per_slot=900.0, sig_threshold_dbm=-80.0)
+
+    def test_budget_constructor_derives_threshold(self):
+        sched = RTMAScheduler(energy_budget_mj_per_slot=1000.0)
+        assert -110.0 < sched.sig_threshold_dbm < -50.0

@@ -1,0 +1,111 @@
+"""Reduced-scale checks of the paper's headline claims.
+
+These are the figure-level assertions at test scale (the full-scale
+reproductions live in benchmarks/ and EXPERIMENTS.md): RTMA's fairness
+and rebuffering advantage over the default strategy (Figs. 2-5), EMA's
+energy advantage under a rebuffering constraint (Figs. 6-9), and the
+Theorem 1 trade-off direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DefaultScheduler,
+    EMAScheduler,
+    EStreamerScheduler,
+    RTMAScheduler,
+    SimConfig,
+    compare_schedulers,
+    generate_workload,
+    run_scheduler,
+)
+from repro.analysis.cdf import tail_fraction
+from repro.analysis.stats import relative_reduction
+
+
+@pytest.fixture(scope="module")
+def paper_cfg():
+    """A scaled-down version of the paper's Section VI setting that
+    preserves the contention ratio (demand ~85% of capacity)."""
+    return SimConfig(
+        n_users=20,
+        n_slots=800,
+        capacity_kbps=10_240.0,
+        video_size_range_kb=(120_000.0, 240_000.0),
+        vbr_segments=30,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def headline(paper_cfg):
+    wl = generate_workload(paper_cfg)
+    return compare_schedulers(
+        paper_cfg,
+        {
+            "default": DefaultScheduler(),
+            "rtma": RTMAScheduler(),
+            "ema": EMAScheduler(paper_cfg.n_users, v_param=0.1),
+            "estreamer": EStreamerScheduler(),
+        },
+        workload=wl,
+    )
+
+
+class TestFig2Fairness:
+    def test_rtma_fair_most_slots(self, headline):
+        fairness = headline["rtma"].fairness_per_slot()
+        assert tail_fraction(fairness, 0.7) > 0.85
+
+    def test_default_unfair_many_slots(self, headline):
+        fairness = headline["default"].fairness_per_slot()
+        finite = fairness[~np.isnan(fairness)]
+        assert (finite < 0.7).mean() > 0.5
+
+
+class TestFig3Rebuffering:
+    def test_rtma_shifts_rebuffering_cdf_left(self, headline):
+        rtma_tot = headline["rtma"].per_user_total_rebuffering_s()
+        def_tot = headline["default"].per_user_total_rebuffering_s()
+        assert rtma_tot.mean() < def_tot.mean()
+
+    def test_default_rebuffering_imbalanced(self, headline):
+        """Paper: default splits into near-zero and heavily-stalled
+        users (resource competition at the BS): Fig. 3's "57% close to
+        zero, >20% above 11 s" bimodality, direction-checked here."""
+        tot = headline["default"].per_user_total_rebuffering_s()
+        assert (tot < 2.0).mean() >= 0.15  # a cohort of barely-stalled users
+        assert (tot > 11.0).mean() >= 0.2  # and a heavily-stalled cohort
+
+
+class TestFig5RTMAComparison:
+    def test_rtma_large_rebuffering_reduction(self, headline):
+        red = relative_reduction(
+            headline["default"].pc_session_s, headline["rtma"].pc_session_s
+        )
+        assert red > 0.4  # paper claims >= 0.68 at full scale
+
+
+class TestFig9EMAComparison:
+    def test_ema_beats_default_energy(self, headline):
+        red = relative_reduction(
+            headline["default"].pe_session_mj, headline["ema"].pe_session_mj
+        )
+        assert red > 0.3  # paper: >= 48% at full scale
+
+    def test_ema_beats_estreamer_energy(self, headline):
+        red = relative_reduction(
+            headline["estreamer"].pe_session_mj, headline["ema"].pe_session_mj
+        )
+        assert red > 0.15  # paper: >= 27% at full scale
+
+
+class TestTheorem1Direction:
+    def test_v_trades_energy_for_rebuffering(self, paper_cfg):
+        wl = generate_workload(paper_cfg)
+        cfg = paper_cfg.with_(n_slots=500)
+        lo = run_scheduler(cfg, EMAScheduler(cfg.n_users, v_param=0.02), wl)
+        hi = run_scheduler(cfg, EMAScheduler(cfg.n_users, v_param=1.0), wl)
+        assert hi.pe_session_mj < lo.pe_session_mj  # energy falls with V
+        assert hi.pc_session_s >= lo.pc_session_s  # rebuffering rises with V

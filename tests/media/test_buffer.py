@@ -1,0 +1,83 @@
+"""Tests for the playback buffer recursion, Eqs. (7)-(8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.buffer import PlaybackBuffer
+
+
+class TestEq7:
+    def test_initial_occupancy_zero(self):
+        assert PlaybackBuffer(1.0).occupancy_s == 0.0
+
+    def test_recursion_exact(self):
+        # r(n) = max(r(n-1) - tau, 0) + t(n-1), hand-computed sequence.
+        buf = PlaybackBuffer(1.0)
+        assert buf.advance(2.5) == pytest.approx(2.5)  # max(0-1,0)+2.5
+        assert buf.advance(0.0) == pytest.approx(1.5)  # max(2.5-1,0)+0
+        assert buf.advance(0.3) == pytest.approx(0.8)  # 0.5 + 0.3
+        assert buf.advance(0.2) == pytest.approx(0.2)  # max(0.8-1,0) + 0.2
+
+    def test_drain_clamps_at_zero(self):
+        buf = PlaybackBuffer(1.0)
+        buf.advance(0.4)
+        assert buf.advance(0.0) == 0.0
+        assert buf.advance(0.0) == 0.0
+
+    def test_fractional_tau(self):
+        buf = PlaybackBuffer(0.5)
+        buf.advance(2.0)
+        assert buf.advance(0.0) == pytest.approx(1.5)
+
+    def test_negative_delivery_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlaybackBuffer(1.0).advance(-0.1)
+
+
+class TestEq8:
+    def test_full_stall_when_empty(self):
+        buf = PlaybackBuffer(1.0)
+        assert buf.rebuffering_s() == 1.0
+
+    def test_partial_stall(self):
+        buf = PlaybackBuffer(1.0)
+        buf.advance(0.25)
+        assert buf.rebuffering_s() == pytest.approx(0.75)
+
+    def test_no_stall_when_full(self):
+        buf = PlaybackBuffer(1.0)
+        buf.advance(3.0)
+        assert buf.rebuffering_s() == 0.0
+
+    def test_finished_playback_never_stalls(self):
+        buf = PlaybackBuffer(1.0)
+        assert buf.rebuffering_s(playback_active=False) == 0.0
+
+    def test_rebuffering_bounded_by_tau(self):
+        buf = PlaybackBuffer(1.0)
+        assert 0.0 <= buf.rebuffering_s() <= 1.0
+
+
+class TestCapacity:
+    def test_cap_limits_occupancy(self):
+        buf = PlaybackBuffer(1.0, capacity_s=5.0)
+        buf.advance(100.0)
+        assert buf.occupancy_s == 5.0
+
+    def test_headroom(self):
+        buf = PlaybackBuffer(1.0, capacity_s=5.0)
+        buf.advance(3.0)
+        assert buf.headroom_s() == pytest.approx(2.0)
+        assert PlaybackBuffer(1.0).headroom_s() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlaybackBuffer(0.0)
+        with pytest.raises(ConfigurationError):
+            PlaybackBuffer(1.0, capacity_s=0.0)
+
+    def test_reset(self):
+        buf = PlaybackBuffer(1.0)
+        buf.advance(4.0)
+        buf.reset()
+        assert buf.occupancy_s == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the streaming client state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.player import PlayerState, StreamingClient
+from repro.media.video import ConstantBitrateProfile, VideoSession
+
+
+def make_client(size_kb=4000.0, rate=400.0, tau=1.0, cap=None):
+    return StreamingClient(
+        VideoSession(size_kb, ConstantBitrateProfile(rate)), tau, cap
+    )
+
+
+class TestDelivery:
+    def test_deliver_accumulates(self):
+        c = make_client()
+        accepted = c.deliver(800.0, 0)
+        assert accepted == 800.0
+        assert c.delivered_kb == 800.0
+        assert c.delivered_playback_s == pytest.approx(2.0)  # 800/400
+
+    def test_deliver_truncates_at_video_end(self):
+        c = make_client(size_kb=1000.0)
+        assert c.deliver(700.0, 0) == 700.0
+        assert c.deliver(700.0, 0) == 300.0
+        assert c.fully_delivered
+        assert c.deliver(100.0, 1) == 0.0
+
+    def test_negative_delivery_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_client().deliver(-1.0, 0)
+
+    def test_remaining_kb(self):
+        c = make_client(size_kb=1000.0)
+        c.deliver(250.0, 0)
+        assert c.remaining_kb == 750.0
+
+
+class TestPlayback:
+    def test_startup_stall_counts_as_rebuffering(self):
+        c = make_client()
+        rebuf, played = c.begin_slot(0)
+        assert rebuf == 1.0 and played == 0.0
+        assert c.state is PlayerState.STARTUP
+
+    def test_shard_usable_next_slot_only(self):
+        c = make_client()
+        c.begin_slot(0)
+        c.deliver(800.0, 0)  # arrives during slot 0
+        rebuf, played = c.begin_slot(1)  # usable now
+        assert rebuf == 0.0 and played == 1.0
+        assert c.state is PlayerState.PLAYING
+
+    def test_partial_stall(self):
+        c = make_client()
+        c.begin_slot(0)
+        c.deliver(200.0, 0)  # 0.5 s of media
+        rebuf, played = c.begin_slot(1)
+        assert rebuf == pytest.approx(0.5)
+        assert played == pytest.approx(0.5)
+        assert c.state is PlayerState.REBUFFERING
+
+    def test_elapsed_tracks_played(self):
+        c = make_client()
+        c.begin_slot(0)
+        c.deliver(4000.0, 0)  # whole video: 10 s of media
+        total_played = 0.0
+        for slot in range(1, 12):
+            _, played = c.begin_slot(slot)
+            total_played += played
+        assert total_played == pytest.approx(10.0)
+        assert c.playback_complete
+        assert c.state is PlayerState.FINISHED
+
+    def test_no_rebuffering_after_completion(self):
+        c = make_client(size_kb=400.0)  # 1 s of media
+        c.begin_slot(0)
+        c.deliver(400.0, 0)
+        c.begin_slot(1)  # plays the single second
+        assert c.playback_complete
+        rebuf, played = c.begin_slot(2)
+        assert rebuf == 0.0 and played == 0.0
+
+    def test_final_fractional_slot_follows_eq8(self):
+        # Fully delivered, video ends mid-slot: Eq. (8) literally counts
+        # max(tau - r, 0) while m < M, so the final fractional slot
+        # contributes tau - (remaining media) of "rebuffering".  We
+        # follow the paper exactly (every scheduler pays the same
+        # constant, so comparisons are unaffected).
+        c = make_client(size_kb=600.0)  # 1.5 s of media
+        c.begin_slot(0)
+        c.deliver(600.0, 0)
+        r1, p1 = c.begin_slot(1)
+        assert (r1, p1) == (0.0, 1.0)
+        r2, p2 = c.begin_slot(2)
+        assert p2 == pytest.approx(0.5)
+        assert r2 == pytest.approx(0.5)  # Eq. (8) literal
+        assert c.playback_complete
+
+    def test_total_rebuffering_accumulates(self):
+        c = make_client()
+        c.begin_slot(0)
+        c.begin_slot(1)
+        assert c.total_rebuffering_s == pytest.approx(2.0)
+
+    def test_buffer_capacity_respected(self):
+        c = make_client(cap=2.0)
+        c.deliver(4000.0, 0)  # 10 s of media
+        c.begin_slot(1)
+        assert c.buffer_occupancy_s <= 2.0
+
+    def test_slot_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_client().begin_slot(-1)
+
+    def test_needs_data_flips(self):
+        c = make_client(size_kb=100.0)
+        assert c.needs_data
+        c.deliver(100.0, 0)
+        assert not c.needs_data

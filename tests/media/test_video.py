@@ -1,0 +1,63 @@
+"""Tests for video sessions and bitrate profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.video import (
+    ConstantBitrateProfile,
+    PiecewiseBitrateProfile,
+    VideoSession,
+)
+
+
+class TestCBR:
+    def test_rate_constant(self):
+        p = ConstantBitrateProfile(450.0)
+        assert p.rate_kbps(0) == 450.0
+        assert p.rate_kbps(10_000) == 450.0
+        assert p.mean_rate_kbps() == 450.0
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            ConstantBitrateProfile(0.0)
+
+
+class TestVBR:
+    def test_segment_boundaries(self):
+        p = PiecewiseBitrateProfile([300.0, 600.0], segment_slots=10)
+        assert p.rate_kbps(0) == 300.0
+        assert p.rate_kbps(9) == 300.0
+        assert p.rate_kbps(10) == 600.0
+        assert p.rate_kbps(19) == 600.0
+
+    def test_cycles(self):
+        p = PiecewiseBitrateProfile([300.0, 600.0], segment_slots=10)
+        assert p.rate_kbps(20) == 300.0  # wrapped
+
+    def test_mean(self):
+        p = PiecewiseBitrateProfile([300.0, 500.0, 700.0])
+        assert p.mean_rate_kbps() == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseBitrateProfile([])
+        with pytest.raises(ConfigurationError):
+            PiecewiseBitrateProfile([300.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            PiecewiseBitrateProfile([300.0], segment_slots=0)
+        with pytest.raises(ConfigurationError):
+            PiecewiseBitrateProfile([300.0]).rate_kbps(-1)
+
+
+class TestSession:
+    def test_nominal_duration(self):
+        v = VideoSession(450_000.0, ConstantBitrateProfile(450.0))
+        assert v.nominal_duration_s == pytest.approx(1000.0)
+
+    def test_rate_passthrough(self):
+        v = VideoSession(1000.0, PiecewiseBitrateProfile([300.0, 600.0], 5))
+        assert v.rate_kbps(7) == 600.0
+
+    def test_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            VideoSession(0.0, ConstantBitrateProfile(450.0))

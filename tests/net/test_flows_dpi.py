@@ -1,0 +1,66 @@
+"""Tests for video flows and the DPI inspector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.video import ConstantBitrateProfile, VideoSession
+from repro.net.dpi import DPIInspector
+from repro.net.flows import VideoFlow
+
+
+def make_flow(uid=0, rate=400.0, arrival=0):
+    return VideoFlow(
+        user_id=uid,
+        video=VideoSession(10_000.0, ConstantBitrateProfile(rate)),
+        arrival_slot=arrival,
+    )
+
+
+class TestFlows:
+    def test_active_at(self):
+        f = make_flow(arrival=5)
+        assert not f.active_at(4)
+        assert f.active_at(5)
+        assert f.active_at(100)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_flow(uid=-1)
+        with pytest.raises(ConfigurationError):
+            make_flow(arrival=-1)
+        with pytest.raises(ConfigurationError):
+            VideoFlow(
+                user_id=0,
+                video=VideoSession(1.0, ConstantBitrateProfile(1.0)),
+                protocol="quic",
+            )
+
+
+class TestDPI:
+    def test_exact_when_error_zero(self):
+        dpi = DPIInspector()
+        f = make_flow(rate=450.0)
+        assert dpi.required_rate_kbps(f, 0) == 450.0
+
+    def test_error_bounded_and_stable_per_flow(self):
+        dpi = DPIInspector(rate_error_frac=0.2, rng=0)
+        f = make_flow(rate=500.0)
+        r1 = dpi.required_rate_kbps(f, 0)
+        r2 = dpi.required_rate_kbps(f, 99)
+        assert r1 == r2  # same flow, same factor
+        assert 400.0 <= r1 <= 600.0
+
+    def test_vector_matches_scalar(self):
+        dpi = DPIInspector(rate_error_frac=0.1, rng=1)
+        flows = [make_flow(uid=i, rate=300.0 + 50 * i) for i in range(4)]
+        vec = dpi.required_rates_kbps(flows, 3)
+        scalars = [dpi.required_rate_kbps(f, 3) for f in flows]
+        np.testing.assert_allclose(vec, scalars)
+
+    def test_classify(self):
+        assert DPIInspector().classify(make_flow()) == "http"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DPIInspector(rate_error_frac=1.0)

@@ -1,0 +1,164 @@
+"""Tests for the gateway framework components (Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError, SimulationError
+from repro.media.player import StreamingClient
+from repro.media.video import ConstantBitrateProfile, VideoSession
+from repro.net.basestation import BaseStation
+from repro.net.flows import VideoFlow
+from repro.net.gateway import DataReceiver, DataTransmitter, Gateway, InformationCollector
+from repro.net.slicing import ResourceSlicer
+from repro.radio.power import EnviPowerModel
+from repro.radio.throughput import LinearThroughputModel
+
+from tests.conftest import make_obs
+
+
+def make_world(n=3, size_kb=5000.0, rate=400.0):
+    flows = [
+        VideoFlow(i, VideoSession(size_kb, ConstantBitrateProfile(rate)))
+        for i in range(n)
+    ]
+    clients = [StreamingClient(f.video, 1.0) for f in flows]
+    return flows, clients
+
+
+class TestDataReceiver:
+    def test_refill_respects_remaining(self):
+        r = DataReceiver(2)
+        r.refill(np.array([1000.0, 0.0]))
+        np.testing.assert_allclose(r.queued_kb, [1000.0, 0.0])
+
+    def test_fetch_ahead_limit(self):
+        r = DataReceiver(1, fetch_ahead_kb=300.0)
+        r.refill(np.array([10_000.0]))
+        assert r.queued_kb[0] == 300.0
+        # Drain, then refill tops back up.
+        r.drain(np.array([200.0]))
+        r.refill(np.array([9800.0]))
+        assert r.queued_kb[0] == 300.0
+
+    def test_drain_bounded_by_queue(self):
+        r = DataReceiver(1)
+        r.refill(np.array([100.0]))
+        taken = r.drain(np.array([500.0]))
+        assert taken[0] == 100.0
+        assert r.queued_kb[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DataReceiver(0)
+        r = DataReceiver(2)
+        with pytest.raises(ConfigurationError):
+            r.drain(np.array([-1.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            r.refill(np.zeros(3))
+
+
+class TestInformationCollector:
+    def test_collect_builds_consistent_observation(self):
+        flows, clients = make_world(n=3)
+        bs = BaseStation(capacity=4096.0, delta_kb=40.0)
+        collector = InformationCollector()
+        obs = collector.collect(
+            slot=0,
+            sig_row=np.array([-60.0, -80.0, -100.0]),
+            flows=flows,
+            clients=clients,
+            bs=bs,
+            slicer=ResourceSlicer(),
+            throughput_model=LinearThroughputModel(),
+            power_model=EnviPowerModel(),
+            idle_tail_cost_mj=np.zeros(3),
+        )
+        assert obs.n_users == 3
+        assert obs.unit_budget == 102  # floor(4096/40)
+        # Stronger signal, larger link cap.
+        assert obs.link_units[0] > obs.link_units[1] > obs.link_units[2]
+        assert obs.active.all()
+        np.testing.assert_allclose(obs.rate_kbps, 400.0)
+
+    def test_collect_rejects_mismatched_arrays(self):
+        flows, clients = make_world(n=2)
+        with pytest.raises(SimulationError):
+            InformationCollector().collect(
+                0,
+                np.array([-80.0]),
+                flows,
+                clients,
+                BaseStation(),
+                ResourceSlicer(),
+                LinearThroughputModel(),
+                EnviPowerModel(),
+                np.zeros(2),
+            )
+
+
+class TestDataTransmitter:
+    def test_transmit_caps_at_remaining_video(self):
+        flows, clients = make_world(n=1, size_kb=100.0)
+        obs = make_obs(n_users=1, remaining_kb=[100.0])
+        receiver = DataReceiver(1)
+        receiver.refill(np.array([100.0]))
+        tx = DataTransmitter()
+        accepted = tx.transmit(np.array([3]), obs, receiver, clients)
+        assert accepted[0] == 100.0  # 3 units = 120 KB wanted, 100 left
+
+    def test_transmit_limited_by_receiver_queue(self):
+        flows, clients = make_world(n=1)
+        obs = make_obs(n_users=1)
+        receiver = DataReceiver(1)
+        receiver.refill(np.array([60.0]))  # less than one 40 KB unit * 2
+        accepted = DataTransmitter().transmit(np.array([2]), obs, receiver, clients)
+        assert accepted[0] == 60.0
+
+    def test_rejects_negative_allocation(self):
+        flows, clients = make_world(n=1)
+        obs = make_obs(n_users=1)
+        with pytest.raises(SimulationError):
+            DataTransmitter().transmit(np.array([-1]), obs, DataReceiver(1), clients)
+
+
+class _NeedScheduler(Scheduler):
+    name = "test-need"
+
+    def allocate(self, obs):
+        need = np.ceil(obs.tau_s * obs.rate_kbps / obs.delta_kb).astype(np.int64)
+        return np.where(obs.active, np.minimum(need, obs.link_units), 0)
+
+
+class TestGateway:
+    def test_step_delivers_to_clients(self):
+        flows, clients = make_world(n=2)
+        gw = Gateway(_NeedScheduler(), BaseStation(), n_users=2)
+        obs, phi, delivered = gw.step(
+            0,
+            np.array([-70.0, -75.0]),
+            flows,
+            clients,
+            LinearThroughputModel(),
+            EnviPowerModel(),
+            np.zeros(2),
+        )
+        assert phi.shape == (2,)
+        assert (delivered > 0).all()
+        assert clients[0].delivered_kb == delivered[0]
+
+    def test_inactive_users_get_nothing(self):
+        flows, clients = make_world(n=2, size_kb=50.0)
+        clients[1].deliver(50.0, 0)  # user 1 fully delivered
+        gw = Gateway(_NeedScheduler(), BaseStation(), n_users=2)
+        obs, phi, delivered = gw.step(
+            1,
+            np.array([-70.0, -75.0]),
+            flows,
+            clients,
+            LinearThroughputModel(),
+            EnviPowerModel(),
+            np.zeros(2),
+        )
+        assert not obs.active[1]
+        assert phi[1] == 0 and delivered[1] == 0.0

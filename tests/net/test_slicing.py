@@ -1,0 +1,59 @@
+"""Tests for resource slicing and background traffic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.slicing import (
+    ConstantBackground,
+    PoissonBackground,
+    ResourceSlicer,
+)
+
+
+class TestBackground:
+    def test_constant(self):
+        bg = ConstantBackground(500.0)
+        assert bg.load_kbps(0) == 500.0
+        assert bg.load_kbps(123) == 500.0
+
+    def test_constant_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantBackground(-1.0)
+
+    def test_poisson_deterministic_per_seed(self):
+        a = PoissonBackground(3.0, 100.0, 50, rng=5)
+        b = PoissonBackground(3.0, 100.0, 50, rng=5)
+        assert [a.load_kbps(i) for i in range(50)] == [
+            b.load_kbps(i) for i in range(50)
+        ]
+
+    def test_poisson_scale(self):
+        bg = PoissonBackground(4.0, 100.0, 10_000, rng=0)
+        mean = sum(bg.load_kbps(i) for i in range(10_000)) / 10_000
+        assert mean == pytest.approx(400.0, rel=0.1)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonBackground(-1.0, 100.0, 10)
+        with pytest.raises(ConfigurationError):
+            PoissonBackground(1.0, 100.0, 10).load_kbps(-1)
+
+
+class TestSlicer:
+    def test_no_background_full_capacity(self):
+        s = ResourceSlicer()
+        assert s.video_capacity_kbps(20480.0, 0) == 20480.0
+
+    def test_background_subtracts(self):
+        s = ResourceSlicer(ConstantBackground(5000.0))
+        assert s.video_capacity_kbps(20480.0, 0) == pytest.approx(15480.0)
+
+    def test_guaranteed_floor(self):
+        s = ResourceSlicer(ConstantBackground(25_000.0), min_video_share=0.25)
+        assert s.video_capacity_kbps(20_000.0, 0) == pytest.approx(5000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSlicer(min_video_share=0.0)
+        with pytest.raises(ConfigurationError):
+            ResourceSlicer().video_capacity_kbps(0.0, 0)

@@ -1,0 +1,85 @@
+"""Property-based tests for buffer and player invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.buffer import PlaybackBuffer
+from repro.media.player import StreamingClient
+from repro.media.video import ConstantBitrateProfile, VideoSession
+
+
+@given(
+    deliveries=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100),
+    tau=st.floats(0.1, 2.0),
+)
+def test_buffer_invariants(deliveries, tau):
+    """r >= 0 always; c in [0, tau]; r bounded by total delivered."""
+    buf = PlaybackBuffer(tau)
+    delivered_total = 0.0
+    for t in deliveries:
+        r = buf.advance(t)
+        delivered_total += t
+        c = buf.rebuffering_s()
+        assert r >= 0.0
+        assert 0.0 <= c <= tau
+        assert r <= delivered_total + 1e-9
+        # Eq. (8): stall and occupancy cover the slot together.
+        assert c + min(r, tau) >= tau - 1e-9
+
+
+@given(
+    deliveries=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=60),
+    cap=st.floats(0.5, 20.0),
+)
+def test_buffer_capacity_never_exceeded(deliveries, cap):
+    buf = PlaybackBuffer(1.0, capacity_s=cap)
+    for t in deliveries:
+        r = buf.advance(t)
+        assert r <= cap + 1e-12
+        assert buf.headroom_s() >= -1e-12
+
+
+@given(
+    size_kb=st.floats(100.0, 20_000.0),
+    rate=st.floats(100.0, 1000.0),
+    chunks=st.lists(st.floats(0.0, 3000.0), min_size=1, max_size=80),
+)
+@settings(max_examples=60)
+def test_player_conservation(size_kb, rate, chunks):
+    """Delivered bytes never exceed the video; elapsed playback never
+    exceeds delivered media duration; rebuffering per slot <= tau."""
+    client = StreamingClient(
+        VideoSession(size_kb, ConstantBitrateProfile(rate)), tau_s=1.0
+    )
+    for slot, kb in enumerate(chunks):
+        rebuf, played = client.begin_slot(slot)
+        assert 0.0 <= rebuf <= 1.0
+        assert 0.0 <= played <= 1.0
+        client.deliver(kb, slot)
+        assert client.delivered_kb <= size_kb + 1e-6
+        assert client.elapsed_playback_s <= client.delivered_playback_s + 1e-6
+        assert client.remaining_kb >= -1e-9
+
+    if client.playback_complete:
+        # Completion implies everything was delivered and watched.
+        assert client.fully_delivered
+        assert client.elapsed_playback_s >= client.delivered_playback_s - 1e-6
+
+
+@given(
+    size_kb=st.floats(100.0, 5000.0),
+    rate=st.floats(100.0, 1000.0),
+)
+def test_player_completes_with_ample_delivery(size_kb, rate):
+    client = StreamingClient(
+        VideoSession(size_kb, ConstantBitrateProfile(rate)), tau_s=1.0
+    )
+    duration = size_kb / rate
+    client.deliver(size_kb, 0)
+    slot = 1
+    while not client.playback_complete and slot < duration + 10:
+        client.begin_slot(slot)
+        slot += 1
+    assert client.playback_complete
+    # Total playback time equals the video duration.
+    assert client.elapsed_playback_s <= duration + 1e-6

@@ -1,0 +1,109 @@
+"""Property-based tests for the radio substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.radio.power import EnviPowerModel
+from repro.radio.rrc import RRCFleet, RRCParams, RRCStateMachine
+from repro.radio.tail import max_tail_energy_mj, tail_energy_mj
+from repro.radio.throughput import LinearThroughputModel
+
+params_st = st.builds(
+    RRCParams,
+    pd_mw=st.floats(0.0, 2000.0),
+    pf_mw=st.floats(0.0, 2000.0),
+    t1_s=st.floats(0.0, 20.0),
+    t2_s=st.floats(0.0, 20.0),
+)
+
+
+@given(
+    t=st.floats(0.0, 100.0),
+    dt=st.floats(0.001, 100.0),
+    params=params_st,
+)
+def test_tail_energy_monotone_and_bounded(t, dt, params):
+    e1 = float(tail_energy_mj(t, params.pd_mw, params.pf_mw, params.t1_s, params.t2_s))
+    e2 = float(
+        tail_energy_mj(t + dt, params.pd_mw, params.pf_mw, params.t1_s, params.t2_s)
+    )
+    cap = max_tail_energy_mj(params.pd_mw, params.pf_mw, params.t1_s, params.t2_s)
+    assert e2 >= e1 - 1e-9
+    assert e1 <= cap + 1e-9
+    assert e2 <= cap + 1e-9
+
+
+@given(
+    params=params_st,
+    tx_pattern=st.lists(st.booleans(), min_size=1, max_size=120),
+)
+def test_rrc_increments_sum_to_closed_form(params, tx_pattern):
+    """Sum of per-slot incremental tails over any idle gap equals Eq. (4)."""
+    m = RRCStateMachine(params)
+    total_since_tx = 0.0
+    gap = 0.0
+    for tx in tx_pattern:
+        inc = m.step(tx, 1.0)
+        if tx:
+            total_since_tx = 0.0
+            gap = 0.0
+        else:
+            total_since_tx += inc
+            gap += 1.0
+            if m._ever_transmitted:
+                expected = float(
+                    tail_energy_mj(gap, params.pd_mw, params.pf_mw, params.t1_s, params.t2_s)
+                )
+                assert abs(total_since_tx - expected) < 1e-6
+
+
+@given(
+    params=params_st,
+    seed=st.integers(0, 2**31 - 1),
+    n_users=st.integers(1, 12),
+    n_steps=st.integers(1, 60),
+)
+@settings(max_examples=40)
+def test_fleet_equals_scalar_machines(params, seed, n_users, n_steps):
+    rng = np.random.default_rng(seed)
+    fleet = RRCFleet(n_users, params)
+    machines = [RRCStateMachine(params) for _ in range(n_users)]
+    for _ in range(n_steps):
+        tx = rng.random(n_users) < 0.5
+        got = fleet.step(tx, 1.0)
+        want = [machines[i].step(bool(tx[i]), 1.0) for i in range(n_users)]
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+@given(sig=st.floats(-114.9, -50.0))
+def test_power_throughput_consistency(sig):
+    """P(sig)*v(sig) must equal the affine radio power everywhere the
+    fit is positive (modulo the p_floor clamp)."""
+    tm = LinearThroughputModel()
+    pm = EnviPowerModel(throughput=tm)
+    v = float(tm.v(sig))
+    if v <= 0:
+        return
+    p = float(pm.p(sig))
+    radio = p * v
+    affine = -0.167 * v + 1560.0
+    # The clamp only binds at very strong signal (beyond the paper range).
+    assert radio >= affine - 1e-6
+
+
+@given(
+    sig=hnp.arrays(
+        np.float64,
+        st.integers(1, 30),
+        elements=st.floats(-110.0, -50.0),
+    ),
+    tau=st.floats(0.1, 5.0),
+    delta=st.floats(1.0, 200.0),
+)
+def test_link_units_never_exceed_throughput(sig, tau, delta):
+    tm = LinearThroughputModel()
+    units = tm.max_units(sig, tau, delta)
+    assert (units * delta <= tau * tm.v(sig) + 1e-6).all()
+    assert (units >= 0).all()

@@ -1,0 +1,118 @@
+"""Property-based tests over all schedulers: constraints always hold,
+and the EMA DP is exactly optimal on arbitrary instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.default import DefaultScheduler, NeedRateScheduler
+from repro.baselines.estreamer import EStreamerScheduler
+from repro.baselines.onoff import OnOffScheduler
+from repro.baselines.salsa import SalsaScheduler
+from repro.baselines.throttling import ThrottlingScheduler
+from repro.core.allocation import check_constraints
+from repro.core.ema import EMAScheduler
+from repro.core.knapsack import exact_slot_minimum
+from repro.core.rtma import RTMAScheduler
+
+from tests.conftest import make_obs
+
+
+@st.composite
+def observations(draw, max_users=8):
+    n = draw(st.integers(1, max_users))
+    budget = draw(st.integers(0, 80))
+    sig = draw(
+        st.lists(st.floats(-110.0, -50.0), min_size=n, max_size=n)
+    )
+    links = draw(st.lists(st.integers(0, 30), min_size=n, max_size=n))
+    rates = draw(st.lists(st.floats(300.0, 600.0), min_size=n, max_size=n))
+    active = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    buffers = draw(st.lists(st.floats(0.0, 100.0), min_size=n, max_size=n))
+    remaining = draw(st.lists(st.floats(0.0, 1e5), min_size=n, max_size=n))
+    p = draw(st.lists(st.floats(0.15, 5.0), min_size=n, max_size=n))
+    tail = draw(st.lists(st.floats(0.0, 800.0), min_size=n, max_size=n))
+    return make_obs(
+        n_users=n,
+        unit_budget=budget,
+        sig_dbm=sig,
+        link_units=links,
+        rate_kbps=rates,
+        active=active,
+        buffer_s=buffers,
+        remaining_kb=remaining,
+        p_mj_per_kb=p,
+        idle_tail_cost_mj=tail,
+    )
+
+
+SCHEDULER_FACTORIES = [
+    lambda n: DefaultScheduler(),
+    lambda n: NeedRateScheduler(),
+    lambda n: ThrottlingScheduler(),
+    lambda n: OnOffScheduler(),
+    lambda n: SalsaScheduler(),
+    lambda n: EStreamerScheduler(),
+    lambda n: RTMAScheduler(),
+    lambda n: RTMAScheduler(sig_threshold_dbm=-80.0),
+    lambda n: EMAScheduler(n, v_param=0.1),
+]
+
+
+@given(obs=observations(), factory_idx=st.integers(0, len(SCHEDULER_FACTORIES) - 1))
+@settings(max_examples=150, deadline=None)
+def test_every_scheduler_satisfies_constraints(obs, factory_idx):
+    sched = SCHEDULER_FACTORIES[factory_idx](obs.n_users)
+    phi = sched.allocate(obs)
+    check_constraints(phi, obs)
+
+
+@given(
+    obs=observations(max_users=5),
+    v=st.floats(0.005, 3.0),
+    queues=st.lists(st.floats(-80.0, 80.0), min_size=5, max_size=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_ema_dp_optimality(obs, v, queues):
+    """The sliding-window DP achieves the brute-force optimum of
+    Eq. (22) on arbitrary queue states and observations."""
+    if obs.unit_budget > 40:
+        obs = make_obs(
+            n_users=obs.n_users,
+            unit_budget=40,
+            sig_dbm=obs.sig_dbm,
+            link_units=np.minimum(obs.link_units, 10),
+            rate_kbps=obs.rate_kbps,
+            active=obs.active,
+            buffer_s=obs.buffer_s,
+            remaining_kb=obs.remaining_kb,
+            p_mj_per_kb=obs.p_mj_per_kb,
+            idle_tail_cost_mj=obs.idle_tail_cost_mj,
+        )
+    ema = EMAScheduler(obs.n_users, v_param=v, queue_init=0.0)
+    ema.allocate(obs)  # trigger queue seeding
+    pc = np.array(queues[: obs.n_users])
+    ema.queues.values = pc.copy()
+    phi = ema.allocate(obs)
+    check_constraints(phi, obs)
+
+    tables, idx = [], []
+    for i in range(obs.n_users):
+        if not obs.active[i]:
+            assert phi[i] == 0
+            continue
+        w = int(min(obs.link_units[i], np.ceil(obs.remaining_kb[i] / obs.delta_kb)))
+        f = np.empty(w + 1)
+        f[0] = pc[i] * obs.tau_s + v * obs.idle_tail_cost_mj[i]
+        for ph in range(1, w + 1):
+            t = ph * obs.delta_kb / obs.rate_kbps[i]
+            f[ph] = v * obs.p_mj_per_kb[i] * ph * obs.delta_kb + pc[i] * (
+                obs.tau_s - t
+            )
+        tables.append(f)
+        idx.append(i)
+    if not tables:
+        return
+    opt_val, _ = exact_slot_minimum(tables, obs.unit_budget)
+    my_val = sum(tables[k][int(phi[i])] for k, i in enumerate(idx))
+    assert my_val <= opt_val + 1e-7

@@ -1,0 +1,80 @@
+"""Tests for the power fits (Definition 4 / Eq. 24)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.power import EnviPowerModel, TablePowerModel
+
+
+class TestEnvi:
+    def test_paper_fit_values(self):
+        m = EnviPowerModel()
+        # P(sig) = -0.167 + 1560/v(sig); v(-80) ~= 2303 -> P ~= 0.510
+        assert m.p(-80.0) == pytest.approx(-0.167 + 1560.0 / 2303.0, rel=1e-3)
+        # Weak signal is much more expensive per byte.
+        assert m.p(-110.0) > 8 * m.p(-50.0)
+
+    def test_monotone_decreasing_in_signal(self):
+        m = EnviPowerModel()
+        sig = np.linspace(-110, -50, 50)
+        p = m.p(sig)
+        assert np.all(np.diff(p) < 0)
+
+    def test_infinite_below_cutoff(self):
+        m = EnviPowerModel()
+        assert np.isinf(m.p(-130.0))
+
+    def test_transmission_energy_eq3(self):
+        m = EnviPowerModel()
+        # E = P(sig) * data
+        assert m.transmission_energy_mj(-80.0, 1000.0) == pytest.approx(
+            float(m.p(-80.0)) * 1000.0
+        )
+        with pytest.raises(ConfigurationError):
+            m.transmission_energy_mj(-80.0, -5.0)
+
+    def test_radio_power_decreasing_in_throughput(self):
+        # P(sig)*v(sig) = -0.167*v + 1560: stronger signal -> lower power.
+        m = EnviPowerModel()
+        assert m.radio_power_mw(-50.0) < m.radio_power_mw(-110.0)
+        assert m.radio_power_mw(-50.0) == pytest.approx(
+            -0.167 * 4277.0 + 1560.0, rel=1e-3
+        )
+
+    def test_signal_for_radio_power_roundtrip(self):
+        m = EnviPowerModel()
+        for power in (900.0, 1100.0, 1400.0):
+            sig = m.signal_for_radio_power(power)
+            assert float(m.radio_power_mw(sig)) == pytest.approx(power, rel=1e-6)
+
+    def test_signal_for_radio_power_unattainable(self):
+        m = EnviPowerModel()
+        with pytest.raises(ConfigurationError):
+            m.signal_for_radio_power(1560.0)  # v_target = 0
+        with pytest.raises(ConfigurationError):
+            m.signal_for_radio_power(2000.0)  # above the fit's supremum
+
+    def test_floor_applies(self):
+        m = EnviPowerModel(p_floor=0.3)
+        assert float(m.p(-50.0)) >= 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnviPowerModel(scale=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnviPowerModel(p_floor=-0.1)
+
+
+class TestTablePower:
+    def test_interpolation(self):
+        m = TablePowerModel([-110.0, -50.0], [4.5, 0.2])
+        assert m.p(-80.0) == pytest.approx(2.35)
+
+    def test_must_be_non_increasing(self):
+        with pytest.raises(ConfigurationError):
+            TablePowerModel([-110.0, -50.0], [0.2, 4.5])
+
+    def test_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TablePowerModel([-110.0, -50.0], [4.5, 0.0])

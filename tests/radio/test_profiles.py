@@ -1,0 +1,55 @@
+"""Tests for named radio profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.power import EnviPowerModel
+from repro.radio.profiles import RadioProfile, get_profile, list_profiles, register_profile
+from repro.radio.rrc import RRCParams
+from repro.radio.throughput import LinearThroughputModel
+
+
+def test_builtin_profiles_present():
+    names = list_profiles()
+    assert {"umts-3g", "lte", "3g-fast-dormancy"} <= set(names)
+
+
+def test_default_profile_is_paper_config():
+    p = get_profile()
+    assert p.name == "umts-3g"
+    assert p.rrc.t1_s == pytest.approx(3.29)
+    assert float(p.throughput.v(-80.0)) == pytest.approx(2303.0, abs=0.5)
+
+
+def test_lte_profile_shape():
+    p = get_profile("lte")
+    # Single-tail LTE: no FACH stage.
+    assert p.rrc.t2_s == 0.0
+    assert p.rrc.pf_mw == 0.0
+    assert p.rrc.t1_s > 10.0
+    # Faster than 3G at the same signal.
+    assert float(p.throughput.v(-80.0)) > float(get_profile().throughput.v(-80.0))
+
+
+def test_fast_dormancy_shorter_tail():
+    fd = get_profile("3g-fast-dormancy")
+    assert fd.rrc.max_tail_mj < get_profile().rrc.max_tail_mj
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ConfigurationError):
+        get_profile("5g-dreams")
+
+
+def test_register_and_overwrite_rules():
+    custom = RadioProfile(
+        name="test-custom",
+        throughput=LinearThroughputModel(),
+        power=EnviPowerModel(),
+        rrc=RRCParams(),
+    )
+    register_profile(custom)
+    assert get_profile("test-custom") is custom
+    with pytest.raises(ConfigurationError):
+        register_profile(custom)  # duplicate
+    register_profile(custom, overwrite=True)  # explicit overwrite ok

@@ -1,0 +1,164 @@
+"""Tests for repro.radio.signal trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.radio.signal import (
+    ConstantSignalModel,
+    MarkovSignalModel,
+    RandomWalkSignalModel,
+    SinusoidSignalModel,
+    TraceSignalModel,
+)
+
+
+class TestSinusoid:
+    def test_shape_and_range(self):
+        trace = SinusoidSignalModel().generate(500, 8, rng=0)
+        assert trace.shape == (500, 8)
+        assert trace.min() >= -110.0
+        assert trace.max() <= -50.0
+
+    def test_noiseless_is_pure_sine(self):
+        model = SinusoidSignalModel(period_slots=100, noise_std_dbm=0.0)
+        trace = model.generate(200, 1, rng=0)
+        n = np.arange(200)
+        expected = -80.0 + 30.0 * np.sin(2 * np.pi * n / 100.0)
+        np.testing.assert_allclose(trace[:, 0], expected, atol=1e-9)
+
+    def test_noiseless_periodicity(self):
+        model = SinusoidSignalModel(period_slots=50, noise_std_dbm=0.0)
+        trace = model.generate(150, 2, rng=0)
+        np.testing.assert_allclose(trace[:50], trace[50:100], atol=1e-9)
+
+    def test_users_have_distinct_phases(self):
+        model = SinusoidSignalModel(noise_std_dbm=0.0)
+        trace = model.generate(300, 4, rng=0)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(trace[:, i], trace[:, j])
+
+    def test_explicit_phases(self):
+        # A pi phase shift mirrors the sine around the midpoint.
+        model = SinusoidSignalModel(
+            period_slots=60, noise_std_dbm=0.0, phases=np.array([0.0, np.pi])
+        )
+        trace = model.generate(60, 2, rng=0)
+        np.testing.assert_allclose(
+            trace[:, 0] - (-80.0), -(trace[:, 1] - (-80.0)), atol=1e-9
+        )
+
+    def test_wrong_phase_count_raises(self):
+        model = SinusoidSignalModel(phases=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            model.generate(10, 4, rng=0)
+
+    def test_seed_reproducibility(self):
+        model = SinusoidSignalModel()
+        a = model.generate(100, 3, rng=99)
+        b = model.generate(100, 3, rng=99)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_actually_perturbs(self):
+        model = SinusoidSignalModel()
+        a = model.generate(100, 3, rng=1)
+        b = model.generate(100, 3, rng=2)
+        assert not np.allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidSignalModel(period_slots=0)
+        with pytest.raises(ConfigurationError):
+            SinusoidSignalModel(noise_std_dbm=-1)
+        with pytest.raises(ConfigurationError):
+            SinusoidSignalModel(sig_min=-50, sig_max=-110)
+
+    def test_bad_generate_args(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidSignalModel().generate(0, 5)
+        with pytest.raises(ConfigurationError):
+            SinusoidSignalModel().generate(5, 0)
+
+
+class TestMarkov:
+    def test_values_on_lattice(self):
+        model = MarkovSignalModel(n_states=5)
+        trace = model.generate(400, 3, rng=0)
+        levels = np.linspace(-110.0, -50.0, 5)
+        assert np.isin(trace, levels).all()
+
+    def test_single_step_transitions(self):
+        model = MarkovSignalModel(n_states=7)
+        trace = model.generate(500, 2, rng=0)
+        step = np.abs(np.diff(trace, axis=0))
+        gap = ((-50.0) - (-110.0)) / 6
+        assert (step <= gap + 1e-9).all()
+
+    def test_p_stay_one_freezes(self):
+        model = MarkovSignalModel(n_states=5, p_stay=1.0)
+        trace = model.generate(100, 4, rng=0)
+        assert (np.diff(trace, axis=0) == 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MarkovSignalModel(n_states=1)
+        with pytest.raises(ConfigurationError):
+            MarkovSignalModel(p_stay=1.5)
+
+
+class TestRandomWalk:
+    def test_range_and_shape(self):
+        trace = RandomWalkSignalModel().generate(300, 5, rng=0)
+        assert trace.shape == (300, 5)
+        assert trace.min() >= -110.0 and trace.max() <= -50.0
+
+    def test_zero_sigma_decays_to_midpoint(self):
+        model = RandomWalkSignalModel(alpha=0.5, sigma_dbm=0.0)
+        trace = model.generate(200, 2, rng=0)
+        assert np.allclose(trace[-1], -80.0, atol=1e-6)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkSignalModel(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomWalkSignalModel(sigma_dbm=-0.1)
+
+
+class TestConstant:
+    def test_constant_everywhere(self):
+        trace = ConstantSignalModel(-72.5).generate(50, 3, rng=0)
+        assert (trace == -72.5).all()
+
+    def test_level_must_be_in_range(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSignalModel(-120.0)
+
+
+class TestTraceModel:
+    def test_replay_exact(self):
+        base = np.linspace(-110, -50, 20).reshape(10, 2)
+        model = TraceSignalModel(base)
+        out = model.generate(10, 2, rng=0)
+        np.testing.assert_array_equal(out, base)
+
+    def test_wraps_past_end(self):
+        base = np.full((5, 1), -60.0)
+        base[0] = -100.0
+        out = TraceSignalModel(base).generate(12, 1, rng=0)
+        assert out[5, 0] == -100.0 and out[10, 0] == -100.0
+
+    def test_too_many_users_raises(self):
+        model = TraceSignalModel(np.full((5, 2), -80.0))
+        with pytest.raises(TraceError):
+            model.generate(5, 3, rng=0)
+
+    def test_rejects_nan(self):
+        bad = np.full((4, 2), -80.0)
+        bad[1, 1] = np.nan
+        with pytest.raises(TraceError):
+            TraceSignalModel(bad)
+
+    def test_rejects_empty_or_1d(self):
+        with pytest.raises(TraceError):
+            TraceSignalModel(np.array([-80.0, -90.0]))

@@ -1,0 +1,79 @@
+"""Tests for the closed-form tail energy, Eq. (4)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.radio.tail import max_tail_energy_mj, tail_energy_mj, tail_energy_rate_mw
+
+PD = constants.POWER_DCH_MW
+PF = constants.POWER_FACH_MW
+T1 = constants.TIMER_T1_S
+T2 = constants.TIMER_T2_S
+
+
+class TestTailEnergy:
+    def test_piecewise_branches(self):
+        # 0 <= t < T1: Pd * t
+        assert tail_energy_mj(1.0) == pytest.approx(PD * 1.0)
+        assert tail_energy_mj(T1 - 1e-9) == pytest.approx(PD * T1, rel=1e-6)
+        # T1 <= t < T1+T2: Pd*T1 + Pf*(t-T1)
+        assert tail_energy_mj(T1 + 1.0) == pytest.approx(PD * T1 + PF * 1.0)
+        # t >= T1+T2: saturated
+        assert tail_energy_mj(T1 + T2) == pytest.approx(PD * T1 + PF * T2)
+        assert tail_energy_mj(100.0) == pytest.approx(PD * T1 + PF * T2)
+
+    def test_zero_gap_zero_energy(self):
+        assert tail_energy_mj(0.0) == 0.0
+
+    def test_saturation_equals_max(self):
+        assert tail_energy_mj(1e9) == pytest.approx(max_tail_energy_mj())
+        assert max_tail_energy_mj() == pytest.approx(PD * T1 + PF * T2)
+
+    def test_monotone_nondecreasing(self):
+        t = np.linspace(0, 12, 400)
+        e = tail_energy_mj(t)
+        assert np.all(np.diff(e) >= -1e-9)
+
+    def test_continuity_at_breakpoints(self):
+        eps = 1e-8
+        assert tail_energy_mj(T1 + eps) == pytest.approx(tail_energy_mj(T1 - eps), abs=1e-3)
+        tb = T1 + T2
+        assert tail_energy_mj(tb + eps) == pytest.approx(tail_energy_mj(tb - eps), abs=1e-3)
+
+    def test_vectorised(self):
+        out = tail_energy_mj(np.array([0.0, 1.0, 10.0]))
+        assert out.shape == (3,)
+
+    def test_negative_gap_raises(self):
+        with pytest.raises(ConfigurationError):
+            tail_energy_mj(-0.5)
+
+    def test_custom_parameters(self):
+        assert tail_energy_mj(2.0, pd_mw=100.0, pf_mw=10.0, t1_s=1.0, t2_s=5.0) == (
+            pytest.approx(100.0 + 10.0)
+        )
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            tail_energy_mj(1.0, pd_mw=-1.0)
+        with pytest.raises(ConfigurationError):
+            tail_energy_mj(1.0, t1_s=-1.0)
+
+
+class TestTailRate:
+    def test_state_powers(self):
+        assert tail_energy_rate_mw(0.0) == PD
+        assert tail_energy_rate_mw(T1 / 2) == PD
+        assert tail_energy_rate_mw(T1) == PF  # right-continuous
+        assert tail_energy_rate_mw(T1 + T2 / 2) == PF
+        assert tail_energy_rate_mw(T1 + T2) == 0.0
+        assert tail_energy_rate_mw(1e6) == 0.0
+
+    def test_rate_integrates_to_energy(self):
+        # Numerically integrate the rate; compare with the closed form.
+        ts = np.linspace(0, 10, 200_001)
+        rates = tail_energy_rate_mw(ts)
+        integral = np.trapezoid(rates, ts)
+        assert integral == pytest.approx(float(tail_energy_mj(10.0)), rel=1e-4)

@@ -1,0 +1,85 @@
+"""Tests for the throughput fits (Definition 3 / Eq. 24)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.throughput import LinearThroughputModel, TableThroughputModel
+
+
+class TestLinear:
+    def test_paper_fit_values(self):
+        m = LinearThroughputModel()
+        # v(sig) = 65.8 * sig + 7567 at the paper's range endpoints.
+        assert m.v(-50.0) == pytest.approx(65.8 * -50 + 7567.0)  # 4277
+        assert m.v(-110.0) == pytest.approx(65.8 * -110 + 7567.0)  # 329
+        assert m.v(-80.0) == pytest.approx(2303.0, abs=0.5)
+
+    def test_clamped_at_zero(self):
+        m = LinearThroughputModel()
+        assert m.v(-130.0) == 0.0
+        assert m.v(m.cutoff_dbm) == pytest.approx(0.0, abs=1e-9)
+
+    def test_vectorised(self):
+        m = LinearThroughputModel()
+        sig = np.array([-50.0, -80.0, -110.0])
+        out = m.v(sig)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)  # weaker signal, less throughput
+
+    def test_inverse_roundtrip(self):
+        m = LinearThroughputModel()
+        for v in (500.0, 1000.0, 4000.0):
+            assert m.v(m.signal_for(v)) == pytest.approx(v)
+
+    def test_inverse_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            LinearThroughputModel().signal_for(-1.0)
+
+    def test_v_max(self):
+        m = LinearThroughputModel()
+        assert m.v_max == pytest.approx(m.v(-50.0))
+
+    def test_max_units_floor_semantics(self):
+        m = LinearThroughputModel()
+        # v(-80) ~ 2303 KB/s -> floor(2303/40) = 57 units
+        assert m.max_units(-80.0, tau_s=1.0, delta_kb=40.0) == 57
+        # Never allows exceeding throughput: units * delta <= tau * v
+        sig = np.linspace(-110, -50, 31)
+        units = m.max_units(sig, 1.0, 40.0)
+        assert np.all(units * 40.0 <= m.v(sig) + 1e-9)
+
+    def test_max_units_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearThroughputModel().max_units(-80.0, 0.0, 40.0)
+        with pytest.raises(ConfigurationError):
+            LinearThroughputModel().max_units(-80.0, 1.0, 0.0)
+
+    def test_rejects_nonpositive_slope(self):
+        with pytest.raises(ConfigurationError):
+            LinearThroughputModel(slope=-1.0)
+
+
+class TestTable:
+    def test_interpolation(self):
+        m = TableThroughputModel([-110.0, -50.0], [300.0, 4300.0])
+        assert m.v(-80.0) == pytest.approx(2300.0)
+        assert m.v_max == 4300.0
+
+    def test_clamps_outside_range(self):
+        m = TableThroughputModel([-100.0, -60.0], [500.0, 4000.0])
+        assert m.v(-120.0) == 500.0
+        assert m.v(-40.0) == 4000.0
+
+    def test_inverse_roundtrip(self):
+        m = TableThroughputModel([-110, -90, -70, -50], [300, 1500, 3000, 4300])
+        for v in (900.0, 2000.0, 4000.0):
+            assert m.v(m.signal_for(v)) == pytest.approx(v)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ConfigurationError):
+            TableThroughputModel([-110, -50], [4300, 300])
+        with pytest.raises(ConfigurationError):
+            TableThroughputModel([-50, -110], [300, 4300])
+        with pytest.raises(ConfigurationError):
+            TableThroughputModel([-110], [300])

@@ -1,0 +1,72 @@
+"""Tests for SimConfig."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.profiles import get_profile
+from repro.radio.signal import ConstantSignalModel, SinusoidSignalModel
+from repro.sim.config import SimConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = SimConfig()
+        assert cfg.n_users == 40
+        assert cfg.n_slots == 10_000
+        assert cfg.tau_s == 1.0
+        assert cfg.capacity_kbps == pytest.approx(20.0 * 1024.0)
+        assert cfg.video_size_range_kb == (256_000.0, 512_000.0)
+        assert cfg.rate_range_kbps == (300.0, 600.0)
+
+    def test_unit_budget(self):
+        assert SimConfig().unit_budget_per_slot == 512
+
+    def test_radio_resolution(self):
+        assert SimConfig().radio.name == "umts-3g"
+        assert SimConfig(profile="lte").radio.name == "lte"
+        assert SimConfig(profile=get_profile("lte")).radio.name == "lte"
+
+    def test_signal_model_default_sinusoid(self):
+        assert isinstance(SimConfig().make_signal_model(), SinusoidSignalModel)
+        custom = ConstantSignalModel(-70.0)
+        assert SimConfig(signal_model=custom).make_signal_model() is custom
+
+
+class TestWith:
+    def test_with_creates_modified_copy(self):
+        base = SimConfig()
+        mod = base.with_(n_users=20)
+        assert mod.n_users == 20
+        assert base.n_users == 40
+        assert mod.capacity_kbps == base.capacity_kbps
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig().with_(n_users=0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0},
+            {"n_slots": -1},
+            {"tau_s": 0.0},
+            {"delta_kb": 0.0},
+            {"capacity_kbps": -5.0},
+            {"video_size_range_kb": (0.0, 100.0)},
+            {"video_size_range_kb": (200.0, 100.0)},
+            {"rate_range_kbps": (600.0, 300.0)},
+            {"vbr_segments": -1},
+            {"mean_video_size_kb": 0.0},
+            {"buffer_capacity_s": -2.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimConfig(**kwargs)
+
+    def test_unknown_profile_fails_at_use(self):
+        cfg = SimConfig(profile="nonexistent")
+        with pytest.raises(ConfigurationError):
+            _ = cfg.radio

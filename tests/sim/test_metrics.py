@@ -1,0 +1,120 @@
+"""Tests for PE/PC/fairness metrics (Eqs. 6, 9; Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import (
+    average_energy_mj,
+    average_rebuffering_s,
+    empirical_cdf,
+    jain_fairness,
+    per_slot_fairness,
+)
+
+
+class TestAverages:
+    def test_eq6_mean(self):
+        e = np.array([[1.0, 3.0], [5.0, 7.0]])
+        assert average_energy_mj(e) == pytest.approx(4.0)
+
+    def test_eq9_mean(self):
+        c = np.array([[0.0, 1.0], [0.5, 0.5]])
+        assert average_rebuffering_s(c) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            average_energy_mj(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            average_energy_mj(np.array([[-1.0]]))
+        with pytest.raises(ConfigurationError):
+            average_rebuffering_s(np.array([[-0.1]]))
+
+
+class TestJain:
+    def test_equal_shares_give_one(self):
+        assert jain_fairness(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_one_taker_gives_1_over_n(self):
+        assert jain_fairness(np.array([5.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness(np.zeros(4)) == 1.0
+
+    def test_bounds(self, rng):
+        for _ in range(100):
+            x = rng.uniform(0, 10, int(rng.integers(1, 20)))
+            j = jain_fairness(x)
+            assert 1.0 / x.size - 1e-12 <= j <= 1.0 + 1e-12
+
+    def test_scale_invariance(self, rng):
+        x = rng.uniform(0, 5, 8)
+        assert jain_fairness(x) == pytest.approx(jain_fairness(x * 7.3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness(np.array([-1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            jain_fairness(np.array([]))
+
+
+class TestPerSlotFairness:
+    def test_equal_satisfaction_is_fair(self):
+        d = np.array([[100.0, 200.0]])
+        need = np.array([[100.0, 200.0]])
+        act = np.ones((1, 2), dtype=bool)
+        assert per_slot_fairness(d, need, act)[0] == pytest.approx(1.0)
+
+    def test_starvation_detected(self):
+        d = np.array([[400.0, 0.0]])
+        need = np.array([[400.0, 400.0]])
+        act = np.ones((1, 2), dtype=bool)
+        assert per_slot_fairness(d, need, act)[0] == pytest.approx(0.5)
+
+    def test_lone_user_is_nan_by_default(self):
+        d = np.array([[100.0, 0.0]])
+        need = np.array([[100.0, 100.0]])
+        act = np.array([[True, False]])
+        assert np.isnan(per_slot_fairness(d, need, act)[0])
+
+    def test_min_active_one_includes_lone_users(self):
+        d = np.array([[100.0, 0.0]])
+        need = np.array([[100.0, 100.0]])
+        act = np.array([[True, False]])
+        assert per_slot_fairness(d, need, act, min_active=1)[0] == pytest.approx(1.0)
+
+    def test_zero_delivery_slot_counts_fair(self):
+        d = np.zeros((1, 3))
+        need = np.full((1, 3), 400.0)
+        act = np.ones((1, 3), dtype=bool)
+        assert per_slot_fairness(d, need, act)[0] == pytest.approx(1.0)
+
+    def test_inactive_users_excluded(self):
+        # User 2 inactive and unserved: must not drag fairness down.
+        d = np.array([[400.0, 400.0, 0.0]])
+        need = np.full((1, 3), 400.0)
+        act = np.array([[True, True, False]])
+        assert per_slot_fairness(d, need, act)[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            per_slot_fairness(np.zeros((2, 2)), np.zeros((2, 3)), np.ones((2, 2), bool))
+        with pytest.raises(ConfigurationError):
+            per_slot_fairness(
+                np.zeros((1, 2)), np.zeros((1, 2)), np.ones((1, 2), bool), min_active=0
+            )
+
+
+class TestCDF:
+    def test_sorted_and_probabilities(self):
+        x, p = empirical_cdf(np.array([3.0, 1.0, 2.0, 2.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [0.25, 0.5, 0.75, 1.0])
+
+    def test_nans_dropped(self):
+        x, p = empirical_cdf(np.array([1.0, np.nan, 2.0]))
+        assert x.size == 2
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf(np.array([np.nan, np.nan]))

@@ -1,0 +1,105 @@
+"""Tests for result containers and derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import DefaultScheduler
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.sim.config import SimConfig
+
+    cfg = SimConfig(
+        n_users=6, n_slots=200, video_size_range_kb=(30_000.0, 60_000.0), seed=42
+    )
+    return Simulation(cfg, DefaultScheduler()).run()
+
+
+class TestDerived:
+    def test_pe_is_mean_of_energy(self, result):
+        assert result.pe_mj == pytest.approx(result.energy_mj.mean())
+
+    def test_pc_is_mean_of_rebuffering(self, result):
+        assert result.pc_s == pytest.approx(result.rebuffering_s.mean())
+
+    def test_energy_is_trans_plus_tail(self, result):
+        np.testing.assert_allclose(
+            result.energy_mj, result.energy_trans_mj + result.energy_tail_mj
+        )
+
+    def test_session_metrics_scale_up(self, result):
+        # Sessions end before the horizon, so session averages must be
+        # at least the horizon averages.
+        assert result.pe_session_mj >= result.pe_mj
+        assert result.pc_session_s >= result.pc_s
+
+    def test_session_mask_shape_and_sanity(self, result):
+        mask = result.session_mask()
+        assert mask.shape == result.energy_mj.shape
+        assert mask[0].all()  # everyone's session includes slot 0
+        done = result.completion_slot
+        for i in range(done.size):
+            if done[i] >= 0 and done[i] + 1 < mask.shape[0]:
+                assert not mask[done[i] + 1, i]
+
+    def test_power_per_slot(self, result):
+        np.testing.assert_allclose(
+            result.power_per_slot_mj(), result.energy_mj.sum(axis=1)
+        )
+
+    def test_per_user_totals(self, result):
+        np.testing.assert_allclose(
+            result.per_user_total_rebuffering_s(), result.rebuffering_s.sum(axis=0)
+        )
+        np.testing.assert_allclose(
+            result.per_user_total_energy_mj(), result.energy_mj.sum(axis=0)
+        )
+
+    def test_cdf_methods_return_valid_cdfs(self, result):
+        for x, p in (
+            result.fairness_cdf(),
+            result.rebuffering_cdf(),
+            result.slot_rebuffering_cdf(),
+        ):
+            assert x.shape == p.shape
+            assert (np.diff(x) >= 0).all()
+            assert p[-1] == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_summary_fields(self, result):
+        s = result.summary()
+        assert s.scheduler == "default"
+        assert s.pe_mj == pytest.approx(result.pe_mj)
+        assert s.pc_s == pytest.approx(result.pc_s)
+        assert s.pe_mj == pytest.approx(s.pe_tail_mj + s.pe_trans_mj)
+        assert 0.0 <= s.completion_rate <= 1.0
+        assert 0.0 <= s.frac_slots_fair <= 1.0
+
+    def test_as_dict_roundtrip(self, result):
+        d = result.summary().as_dict()
+        assert d["scheduler"] == "default"
+        assert set(d) >= {"pe_mj", "pc_s", "mean_fairness", "pe_session_mj"}
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            SimulationResult(
+                scheduler_name="x",
+                config=result.config,
+                allocation_units=result.allocation_units,
+                delivered_kb=result.delivered_kb[:-1],
+                rebuffering_s=result.rebuffering_s,
+                energy_trans_mj=result.energy_trans_mj,
+                energy_tail_mj=result.energy_tail_mj,
+                buffer_s=result.buffer_s,
+                need_kb=result.need_kb,
+                active=result.active,
+                completion_slot=result.completion_slot,
+                arrival_slot=result.arrival_slot,
+            )

@@ -1,0 +1,123 @@
+"""Tests for the run orchestration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import DefaultScheduler
+from repro.core.ema import EMAScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.errors import ConfigurationError
+from repro.sim.runner import (
+    calibrate_ema_v,
+    calibrate_rtma_threshold,
+    compare_schedulers,
+    default_reference,
+    make_rtma_eq12,
+    make_rtma_for_alpha,
+    multi_seed,
+    run_scheduler,
+    sweep,
+)
+from repro.sim.workload import generate_workload
+
+
+class TestBasics:
+    def test_run_scheduler(self, small_config):
+        res = run_scheduler(small_config, DefaultScheduler())
+        assert res.scheduler_name == "default"
+
+    def test_compare_shares_workload(self, small_config):
+        results = compare_schedulers(
+            small_config,
+            {"a": DefaultScheduler(), "b": RTMAScheduler()},
+        )
+        assert set(results) == {"a", "b"}
+        # Identical workload: the same total video bytes get delivered.
+        assert results["a"].delivered_kb.sum() == pytest.approx(
+            results["b"].delivered_kb.sum(), rel=1e-6
+        )
+
+    def test_compare_empty_rejected(self, small_config):
+        with pytest.raises(ConfigurationError):
+            compare_schedulers(small_config, {})
+
+    def test_sweep_varies_axis(self, small_config):
+        results = sweep(
+            small_config, "n_users", [2, 4], lambda cfg: DefaultScheduler()
+        )
+        assert [r.config.n_users for r in results] == [2, 4]
+
+    def test_multi_seed(self, small_config):
+        results = multi_seed(small_config, lambda cfg: DefaultScheduler(), [1, 2, 3])
+        assert len(results) == 3
+        seeds = {r.config.seed for r in results}
+        assert seeds == {1, 2, 3}
+        # Different seeds produce different outcomes.
+        assert len({round(r.pc_s, 9) for r in results}) > 1
+
+    def test_default_reference(self, small_config):
+        ref = default_reference(small_config)
+        assert ref.scheduler_name == "default"
+
+
+class TestCalibration:
+    def test_rtma_alpha_loose_budget_unconstrained(self, small_config):
+        # Uncontended small config: RTMA(-inf) under default energy with
+        # a generous alpha -> no threshold needed.
+        thr = calibrate_rtma_threshold(small_config, alpha=5.0)
+        assert thr == float("-inf")
+
+    def test_rtma_alpha_tight_budget_restricts(self, contended_config):
+        thr_tight = calibrate_rtma_threshold(
+            contended_config, alpha=0.5, calibration_slots=200
+        )
+        thr_loose = calibrate_rtma_threshold(
+            contended_config, alpha=5.0, calibration_slots=200
+        )
+        assert thr_tight > -110.0
+        assert thr_loose == float("-inf")
+
+    def test_make_rtma_for_alpha_returns_scheduler(self, small_config):
+        sched = make_rtma_for_alpha(small_config, alpha=1.0)
+        assert isinstance(sched, RTMAScheduler)
+
+    def test_make_rtma_eq12_in_band(self, small_config):
+        sched = make_rtma_eq12(small_config, 1000.0)
+        assert -110.0 < sched.sig_threshold_dbm < -50.0
+
+    def test_alpha_validation(self, small_config):
+        with pytest.raises(ConfigurationError):
+            calibrate_rtma_threshold(small_config, alpha=0.0)
+
+    def test_calibrate_ema_v_loose_bound_saves_at_least_as_much(self, small_config):
+        # A loose bound's feasible V set contains the tight bound's, so
+        # the min-energy pick can only improve (identical workload and
+        # grid make this exact, not statistical).
+        cal_cfg = small_config.with_(n_slots=150)
+        wl = generate_workload(cal_cfg)
+        v_loose = calibrate_ema_v(
+            small_config, 0.5, workload=wl, iterations=5, calibration_slots=150
+        )
+        v_tight = calibrate_ema_v(
+            small_config, 0.005, workload=wl, iterations=5, calibration_slots=150
+        )
+        pe_loose = run_scheduler(
+            cal_cfg, EMAScheduler(cal_cfg.n_users, v_param=v_loose), wl
+        ).pe_mj
+        pe_tight = run_scheduler(
+            cal_cfg, EMAScheduler(cal_cfg.n_users, v_param=v_tight), wl
+        ).pe_mj
+        assert pe_loose <= pe_tight + 1e-9
+
+    def test_calibrate_ema_v_respects_bound(self, small_config):
+        bound = 0.05
+        v = calibrate_ema_v(small_config, bound, iterations=6, calibration_slots=200)
+        cfg = small_config.with_(n_slots=200)
+        res = run_scheduler(cfg, EMAScheduler(cfg.n_users, v_param=v))
+        assert res.pc_s <= bound * 1.25  # bisection tolerance
+
+    def test_ema_v_validation(self, small_config):
+        with pytest.raises(ConfigurationError):
+            calibrate_ema_v(small_config, 0.0)
+        with pytest.raises(ConfigurationError):
+            calibrate_ema_v(small_config, 1.0, v_lo=5.0, v_hi=1.0)

@@ -1,0 +1,70 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.media.video import ConstantBitrateProfile, PiecewiseBitrateProfile
+from repro.sim.config import SimConfig
+from repro.sim.workload import generate_workload
+
+
+class TestGeneration:
+    def test_shapes_and_counts(self):
+        cfg = SimConfig(n_users=7, n_slots=120, seed=1)
+        wl = generate_workload(cfg)
+        assert wl.n_users == 7
+        assert wl.n_slots == 120
+        assert wl.signal_dbm.shape == (120, 7)
+        assert [f.user_id for f in wl.flows] == list(range(7))
+
+    def test_sizes_within_range(self):
+        cfg = SimConfig(n_users=50, n_slots=10, seed=2)
+        wl = generate_workload(cfg)
+        for f in wl.flows:
+            assert 256_000.0 <= f.video.size_kb <= 512_000.0
+
+    def test_rates_within_range(self):
+        cfg = SimConfig(n_users=50, n_slots=10, seed=3)
+        wl = generate_workload(cfg)
+        for f in wl.flows:
+            r = f.video.profile.mean_rate_kbps()
+            assert 300.0 <= r <= 600.0
+
+    def test_seed_determinism(self):
+        cfg = SimConfig(n_users=5, n_slots=50, seed=11)
+        a, b = generate_workload(cfg), generate_workload(cfg)
+        np.testing.assert_array_equal(a.signal_dbm, b.signal_dbm)
+        assert [f.video.size_kb for f in a.flows] == [
+            f.video.size_kb for f in b.flows
+        ]
+
+    def test_different_seeds_differ(self):
+        base = SimConfig(n_users=5, n_slots=50)
+        a = generate_workload(base.with_(seed=1))
+        b = generate_workload(base.with_(seed=2))
+        assert not np.allclose(a.signal_dbm, b.signal_dbm)
+
+    def test_mean_size_override_hits_target(self):
+        cfg = SimConfig(n_users=30, n_slots=10, mean_video_size_kb=350_000.0, seed=4)
+        wl = generate_workload(cfg)
+        sizes = [f.video.size_kb for f in wl.flows]
+        assert np.mean(sizes) == pytest.approx(350_000.0)
+
+    def test_cbr_by_default_vbr_on_request(self):
+        cbr = generate_workload(SimConfig(n_users=3, n_slots=10, seed=5))
+        assert all(
+            isinstance(f.video.profile, ConstantBitrateProfile) for f in cbr.flows
+        )
+        vbr = generate_workload(
+            SimConfig(n_users=3, n_slots=10, seed=5, vbr_segments=20)
+        )
+        assert all(
+            isinstance(f.video.profile, PiecewiseBitrateProfile) for f in vbr.flows
+        )
+
+    def test_workload_helpers(self):
+        wl = generate_workload(SimConfig(n_users=4, n_slots=10, seed=6))
+        assert wl.total_video_kb() == pytest.approx(
+            sum(f.video.size_kb for f in wl.flows)
+        )
+        assert 300.0 <= wl.mean_rate_kbps() <= 600.0
