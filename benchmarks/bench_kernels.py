@@ -5,7 +5,16 @@ figure reproductions): the per-slot cost of each scheduler's allocate,
 the RRC fleet step, and a full engine slot.  They guard the
 performance envelope that makes the full-scale (Gamma = 10000)
 experiments tractable.
+
+Every benchmark's round timings are also recorded into a
+:class:`~repro.obs.metrics.MetricsRegistry`; at session end the
+registry snapshot is written to ``BENCH_kernels.json`` (next to this
+file, or at ``$BENCH_KERNELS_JSON``) so the performance trajectory is
+machine-readable run over run.
 """
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,9 +23,40 @@ from repro.baselines.default import DefaultScheduler
 from repro.core.ema import EMAScheduler, trailing_window_min
 from repro.core.rtma import RTMAScheduler
 from repro.net.gateway import SlotObservation
+from repro.obs import Instrumentation, MetricsRegistry, NullTracer
 from repro.radio.rrc import RRCFleet
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
+
+#: Shared registry all kernel benches report into (one file per session).
+KERNEL_REGISTRY = MetricsRegistry()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_kernel_timings():
+    """Dump the registry to BENCH_kernels.json once the session ends."""
+    yield
+    if not len(KERNEL_REGISTRY):
+        return
+    default = Path(__file__).resolve().parent / "BENCH_kernels.json"
+    path = Path(os.environ.get("BENCH_KERNELS_JSON", default))
+    KERNEL_REGISTRY.write_json(path)
+
+
+@pytest.fixture(autouse=True)
+def _record_kernel_timing(request):
+    """Feed each benchmark's raw round timings into the shared registry."""
+    bench = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if bench is None or bench.stats is None:
+        return
+    hist = KERNEL_REGISTRY.histogram(f"bench.{request.node.name}.seconds")
+    for sample in bench.stats.stats.data:
+        hist.observe(sample)
 
 
 def paper_slot_observation(n_users=40, budget=512, seed=0) -> SlotObservation:
@@ -99,4 +139,25 @@ def test_engine_100_slots(benchmark, sched_name):
         return Simulation(cfg, factories[sched_name]()).run()
 
     res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.delivered_kb.sum() > 0
+
+
+@pytest.mark.parametrize("instrumented", [False, True], ids=["plain", "null-tracer"])
+def test_engine_200_slots_instrumentation_overhead(benchmark, instrumented):
+    """The observability acceptance gate: attaching an Instrumentation
+    bundle with the default ``NullTracer`` must cost < 2% wall clock on
+    a 200-slot / 20-user run (compare the two parametrisations)."""
+    cfg = SimConfig(
+        n_users=20,
+        n_slots=200,
+        video_size_range_kb=(50_000.0, 100_000.0),
+        buffer_capacity_s=60.0,
+        seed=1,
+    )
+
+    def run():
+        instr = Instrumentation(tracer=NullTracer()) if instrumented else None
+        return Simulation(cfg, DefaultScheduler(), instrumentation=instr).run()
+
+    res = benchmark.pedantic(run, rounds=5, warmup_rounds=2, iterations=1)
     assert res.delivered_kb.sum() > 0

@@ -15,7 +15,7 @@ from repro import (
     SimConfig,
     compare_schedulers,
 )
-from repro.analysis.tables import Table
+from repro.analysis.tables import summary_table
 
 
 def main() -> None:
@@ -39,16 +39,10 @@ def main() -> None:
         },
     )
 
-    table = Table(
-        ["scheduler", "rebuffering (s/slot)", "energy (mJ/slot)", "fairness", "completed"],
-        formats=[None, ".4f", ".1f", ".3f", ".0%"],
+    table = summary_table(
+        results,
         title=f"{cfg.n_users} users, {cfg.capacity_kbps/1024:.0f} MB/s cell",
     )
-    for name, res in results.items():
-        s = res.summary()
-        table.add_row(
-            [name, s.pc_session_s, s.pe_session_mj, s.mean_fairness, s.completion_rate]
-        )
     print(table.render())
 
     reduction = 1 - results["rtma"].pc_session_s / results["default"].pc_session_s

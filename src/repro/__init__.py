@@ -46,6 +46,15 @@ from repro.radio import (
     tail_energy_mj,
 )
 from repro.media import PlaybackBuffer, StreamingClient, VideoSession
+from repro.obs import (
+    Instrumentation,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    NullTracer,
+    PhaseProfiler,
+    RecordingTracer,
+    use_instrumentation,
+)
 from repro.sim import (
     SimConfig,
     Simulation,
@@ -60,7 +69,7 @@ from repro.sim import (
     sweep,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # core
@@ -88,6 +97,14 @@ __all__ = [
     "VideoSession",
     "PlaybackBuffer",
     "StreamingClient",
+    # observability
+    "Instrumentation",
+    "use_instrumentation",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "PhaseProfiler",
     # simulation
     "SimConfig",
     "Simulation",

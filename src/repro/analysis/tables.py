@@ -3,16 +3,20 @@
 Every experiment module renders its output through :class:`Table` so
 the console output, EXPERIMENTS.md, and the bench logs all share one
 format.  Cells are formatted per-column; alignment is computed from
-rendered widths.
+rendered widths.  :func:`summary_table` is the canonical rendering of
+run results — it reads
+:meth:`~repro.sim.results.SimulationResult.to_summary_dict` so every
+consumer (examples, the ``repro-trace`` CLI, benches) shows the same
+aggregates instead of re-deriving them.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Table"]
+__all__ = ["Table", "summary_table"]
 
 
 class Table:
@@ -84,3 +88,42 @@ class Table:
 
     def __str__(self) -> str:  # pragma: no cover
         return self.render()
+
+
+def summary_table(results: Mapping[str, object], title: str | None = None) -> Table:
+    """Headline-metrics table for named runs.
+
+    ``results`` maps display names to
+    :class:`~repro.sim.results.SimulationResult` objects (duck-typed on
+    ``to_summary_dict``), e.g. the output of
+    :func:`repro.sim.runner.compare_schedulers`.
+    """
+    if not results:
+        raise ConfigurationError("need at least one result")
+    table = Table(
+        [
+            "scheduler",
+            "PE (mJ)",
+            "PC (s)",
+            "tail (mJ)",
+            "fairness",
+            "completed",
+            "rebuf/user (s)",
+        ],
+        formats=[None, ".1f", ".4f", ".1f", ".3f", ".0%", ".2f"],
+        title=title,
+    )
+    for name, result in results.items():
+        s = result.to_summary_dict()
+        table.add_row(
+            [
+                name,
+                s["pe_mj"],
+                s["pc_s"],
+                s["pe_tail_mj"],
+                s["mean_fairness"],
+                s["completion_rate"],
+                s["total_rebuffering_per_user_s"],
+            ]
+        )
+    return table

@@ -251,6 +251,17 @@ class EMAScheduler(Scheduler):
         self.queues.update(t, obs.active)
         if self.queue_floor_s is not None:
             np.maximum(self.queues.values, self.queue_floor_s, out=self.queues.values)
+        instr = self.instrumentation
+        if instr is not None:
+            # Lyapunov policies are diagnosed through their virtual-queue
+            # trajectories: publish PC_i(n) after every update.
+            pc = self.queues.values
+            instr.metrics.gauge("ema.virtual_queues").set(pc.copy())
+            instr.metrics.gauge("ema.virtual_queue_max_s").set(float(pc.max()))
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "ema.queues", slot=int(obs.slot), v=self.v_param, pc_s=pc.copy()
+                )
 
     def reset(self) -> None:
         self.queues.reset()

@@ -27,6 +27,7 @@ from repro.experiments import (
     theorem1_bounds,
 )
 from repro.experiments.common import SCALES, ExperimentResult
+from repro.obs.instrument import Instrumentation, use_instrumentation
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -44,15 +45,34 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(exp_id: str, scale: str = "bench", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(
+    exp_id: str,
+    scale: str = "bench",
+    seed: int = 0,
+    instrumentation: Instrumentation | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    With ``instrumentation``, the bundle is made ambient for the whole
+    experiment (see :func:`repro.obs.instrument.use_instrumentation`):
+    every inner simulation — including the dozens of hidden calibration
+    runs — traces, counts, and profiles into it.
+    """
     try:
         runner = EXPERIMENTS[exp_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale=scale, seed=seed)
+    if instrumentation is None:
+        return runner(scale=scale, seed=seed)
+    with use_instrumentation(instrumentation):
+        if instrumentation.tracer.enabled:
+            instrumentation.tracer.emit("experiment.start", exp_id=exp_id, scale=scale, seed=seed)
+        result = runner(scale=scale, seed=seed)
+        if instrumentation.tracer.enabled:
+            instrumentation.tracer.emit("experiment.end", exp_id=exp_id)
+        return result
 
 
 def main(argv: list[str] | None = None) -> int:

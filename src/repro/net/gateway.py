@@ -19,6 +19,7 @@ Four components sit between the Internet and the base station:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -236,6 +237,10 @@ class Gateway:
         self.receiver = DataReceiver(n_users, fetch_ahead_kb)
         self.collector = InformationCollector(dpi)
         self.transmitter = DataTransmitter()
+        # (instrumentation, observe/schedule/transmit sample lists)
+        # resolved once per bundle — the engine calls step() once per
+        # slot and profiler lookups in that loop are measurable.
+        self._obs_cache: tuple | None = None
 
     def step(
         self,
@@ -246,11 +251,34 @@ class Gateway:
         throughput_model,
         power_model,
         idle_tail_cost_mj: np.ndarray,
+        instrumentation=None,
     ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
         """Run one slot of the framework.
 
         Returns ``(observation, allocation_units, delivered_kb)``.
+
+        With an :class:`~repro.obs.instrument.Instrumentation` bundle
+        attached, the observe/schedule/transmit phases are timed
+        separately (one profiler sample each per call).  Allocation
+        counters — scheduler invocations, budget near-misses,
+        allocated-but-unaccepted bytes — are batch-derived by the
+        engine from its recorded grids so the per-slot path stays
+        within the instrumentation overhead budget.
         """
+        timed = instrumentation is not None
+        if timed:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not instrumentation:
+                profiler = instrumentation.profiler
+                cache = self._obs_cache = (
+                    instrumentation,
+                    profiler.samples("observe").append,
+                    profiler.samples("schedule").append,
+                    profiler.samples("transmit").append,
+                )
+            _, rec_observe, rec_schedule, rec_transmit = cache
+            _pc = perf_counter
+            _t0 = _pc()
         obs = self.collector.collect(
             slot,
             sig_row,
@@ -263,6 +291,14 @@ class Gateway:
             idle_tail_cost_mj,
         )
         self.receiver.refill(obs.remaining_kb)
+        if timed:
+            _t1 = _pc()
+            rec_observe(_t1 - _t0)
         phi = np.asarray(self.scheduler.allocate(obs))
+        if timed:
+            _t2 = _pc()
+            rec_schedule(_t2 - _t1)
         delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
+        if timed:
+            rec_transmit(_pc() - _t2)
         return obs, phi, delivered_kb

@@ -1,0 +1,54 @@
+"""Observability substrate: tracing, metrics, profiling, provenance.
+
+The simulation pipeline is instrumented end-to-end through a single
+optional :class:`~repro.obs.instrument.Instrumentation` bundle:
+
+* :mod:`repro.obs.tracer` — structured per-slot event tracing
+  (:class:`NullTracer` default, :class:`JsonlTraceWriter` for files);
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry;
+* :mod:`repro.obs.profiler` — per-phase wall-clock timing with
+  p50/p95/max summaries;
+* :mod:`repro.obs.provenance` — run manifests (config hash, seed, git
+  revision, package version);
+* :mod:`repro.obs.cli` — the ``repro-trace`` console entry point.
+
+Quick taste::
+
+    from repro.obs import Instrumentation, RecordingTracer, use_instrumentation
+
+    instr = Instrumentation(tracer=RecordingTracer())
+    res = run_scheduler(cfg, EMAScheduler(cfg.n_users), instrumentation=instr)
+    print(instr.profiler.render_table())
+    print(instr.metrics.snapshot()["counters"]["rrc.occupancy.idle"])
+"""
+
+from repro.obs.instrument import (
+    Instrumentation,
+    current_instrumentation,
+    use_instrumentation,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import PhaseProfiler, PhaseTimer, null_phase
+from repro.obs.provenance import RunManifest, build_manifest, config_hash, git_revision
+from repro.obs.tracer import JsonlTraceWriter, NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "Instrumentation",
+    "use_instrumentation",
+    "current_instrumentation",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseProfiler",
+    "PhaseTimer",
+    "null_phase",
+    "RunManifest",
+    "build_manifest",
+    "config_hash",
+    "git_revision",
+]

@@ -1,0 +1,142 @@
+"""Per-phase wall-clock profiling of the simulation pipeline.
+
+The engine wraps each of its six slot phases (playback, observe,
+schedule, transmit, rrc, feedback) in a :class:`PhaseTimer` drawn from
+a :class:`PhaseProfiler`; the profiler accumulates per-phase samples
+and summarises them as count/total/p50/p95/max.  Timers for the same
+phase may be re-entered thousands of times (once per slot) — entering
+one costs two ``perf_counter`` calls and a list append.
+
+``null_phase`` is the no-op stand-in used when no instrumentation is
+attached, so un-instrumented hot loops keep an identical shape at
+negligible cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import Table
+from repro.obs.metrics import percentile
+
+__all__ = ["PhaseTimer", "PhaseProfiler", "null_phase"]
+
+
+class _NullTimer:
+    """Shared no-op context manager for un-instrumented runs."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def null_phase(name: str) -> _NullTimer:
+    """Drop-in for :meth:`PhaseProfiler.phase` that times nothing."""
+    return _NULL_TIMER
+
+
+class PhaseTimer:
+    """Context manager appending one elapsed-seconds sample per entry."""
+
+    __slots__ = ("_samples", "_start")
+
+    def __init__(self, samples: list[float]):
+        self._samples = samples
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._samples.append(time.perf_counter() - self._start)
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock samples per named phase.
+
+    Phase order is first-use order, which for an engine run matches the
+    pipeline order — the rendered table reads top-to-bottom like a slot.
+    """
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = {}
+        self._timers: dict[str, PhaseTimer] = {}
+
+    def phase(self, name: str) -> PhaseTimer:
+        """A (cached, re-enterable) timer for ``name``."""
+        timer = self._timers.get(name)
+        if timer is None:
+            samples = self._samples.setdefault(name, [])
+            timer = PhaseTimer(samples)
+            self._timers[name] = timer
+        return timer
+
+    def samples(self, name: str) -> list[float]:
+        """The mutable sample list for ``name``.
+
+        Hot loops (the engine, the gateway) append
+        ``perf_counter`` deltas directly to this list instead of
+        entering a context manager per phase per slot — the ``with``
+        protocol alone costs as much as the measurement.  Creating the
+        list registers the phase, so request lists in pipeline order.
+        """
+        return self._samples.setdefault(name, [])
+
+    def record(self, name: str, elapsed_s: float) -> None:
+        """Append an externally-measured sample (used by the runner)."""
+        self._samples.setdefault(name, []).append(float(elapsed_s))
+
+    @property
+    def phases(self) -> list[str]:
+        return list(self._samples)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-phase aggregates: count, total_s, mean_s, p50_s, p95_s, max_s."""
+        out: dict[str, dict[str, float]] = {}
+        for name, samples in self._samples.items():
+            if not samples:
+                continue
+            ordered = sorted(samples)
+            total = float(sum(ordered))
+            out[name] = {
+                "count": len(ordered),
+                "total_s": total,
+                "mean_s": total / len(ordered),
+                "p50_s": percentile(ordered, 50.0),
+                "p95_s": percentile(ordered, 95.0),
+                "max_s": ordered[-1],
+            }
+        return out
+
+    def render_table(self, title: str = "Phase timings") -> str:
+        """Human-readable summary table (microsecond resolution)."""
+        table = Table(
+            ["phase", "calls", "total (s)", "p50 (us)", "p95 (us)", "max (us)"],
+            formats=[None, "d", ".3f", ".1f", ".1f", ".1f"],
+            title=title,
+        )
+        for name, stats in self.summary().items():
+            table.add_row(
+                [
+                    name,
+                    int(stats["count"]),
+                    stats["total_s"],
+                    stats["p50_s"] * 1e6,
+                    stats["p95_s"] * 1e6,
+                    stats["max_s"] * 1e6,
+                ]
+            )
+        return table.render()
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._timers.clear()

@@ -1,0 +1,135 @@
+"""Run provenance: config hashing and the run manifest.
+
+A :class:`RunManifest` pins down everything needed to reproduce a
+traced run — the configuration hash, seed, package version, git
+revision, Python/NumPy versions, and wall time — and serialises to
+``manifest.json`` next to the trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # import would cycle (sim.engine -> obs) at runtime
+    from repro.sim.config import SimConfig
+
+__all__ = ["config_hash", "git_revision", "RunManifest", "build_manifest"]
+
+
+def _canonical(value: Any) -> Any:
+    """Deterministic, JSON-friendly view of a config field."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return repr(value)  # keeps inf/nan and full precision stable
+    # Model objects (signal models, radio profiles) hash by repr.
+    return repr(value)
+
+
+def config_hash(config: SimConfig) -> str:
+    """Stable SHA-256 over the config's canonical field values.
+
+    Two configs hash equal iff every field (including nested dataclass
+    fields such as the radio profile) compares equal canonically.
+    """
+    payload = json.dumps(_canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def git_revision(repo_dir: str | Path | None = None) -> str | None:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    if repo_dir is None:
+        repo_dir = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir),
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record of one traced run."""
+
+    #: SHA-256 of the canonical config (see :func:`config_hash`).
+    config_hash: str
+    seed: int
+    n_users: int
+    n_slots: int
+    package_version: str
+    git_rev: str | None
+    python_version: str
+    numpy_version: str
+    platform: str
+    #: Unix timestamp at manifest creation.
+    created_at: float
+    #: Wall-clock duration of the run, seconds (None until recorded).
+    wall_time_s: float | None = None
+    #: Free-form extras (experiment id, scale, trace event count, ...).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def build_manifest(config: SimConfig, **extra: Any) -> RunManifest:
+    """Assemble a :class:`RunManifest` for ``config``.
+
+    Keyword arguments land in :attr:`RunManifest.extra` verbatim.
+    """
+    from repro import __version__
+
+    return RunManifest(
+        config_hash=config_hash(config),
+        seed=config.seed,
+        n_users=config.n_users,
+        n_slots=config.n_slots,
+        package_version=__version__,
+        git_rev=git_revision(),
+        python_version=sys.version.split()[0],
+        numpy_version=np.__version__,
+        platform=platform.platform(),
+        created_at=time.time(),
+        extra=dict(extra),
+    )

@@ -28,7 +28,13 @@ from repro import constants
 from repro.errors import ConfigurationError
 from repro.radio.tail import max_tail_energy_mj, tail_energy_mj
 
-__all__ = ["RRCState", "RRCParams", "RRCStateMachine", "RRCFleet"]
+__all__ = [
+    "RRCState",
+    "RRCParams",
+    "RRCStateMachine",
+    "RRCFleet",
+    "fleet_occupancy_from_tx",
+]
 
 
 class RRCState(enum.Enum):
@@ -152,7 +158,9 @@ class RRCFleet:
         self.idle_age_s = np.full(self.n_users, full, dtype=float)
         self.ever_transmitted = np.zeros(self.n_users, dtype=bool)
 
-    def step(self, transmitting: np.ndarray, dt_s: float) -> np.ndarray:
+    def step(
+        self, transmitting: np.ndarray, dt_s: float, instrumentation=None
+    ) -> np.ndarray:
         """Advance all devices one slot.
 
         Parameters
@@ -161,6 +169,11 @@ class RRCFleet:
             Boolean mask, shape ``(n_users,)``.
         dt_s:
             Slot length in seconds.
+        instrumentation:
+            Optional :class:`~repro.obs.instrument.Instrumentation`;
+            when given, the per-state occupancy (user-slots in
+            DCH/FACH/IDLE after this step) and the slot's aggregate
+            tail accrual are added to its metrics registry.
 
         Returns
         -------
@@ -179,7 +192,29 @@ class RRCFleet:
         tail = np.where(tx | ~self.ever_transmitted, 0.0, after - before)
         self.idle_age_s = np.where(tx, 0.0, self.idle_age_s + dt_s)
         self.ever_transmitted |= tx
+        if instrumentation is not None:
+            metrics = instrumentation.metrics
+            counts = self.state_counts()
+            metrics.counter("rrc.occupancy.dch").inc(counts["dch"])
+            metrics.counter("rrc.occupancy.fach").inc(counts["fach"])
+            metrics.counter("rrc.occupancy.idle").inc(counts["idle"])
+            metrics.counter("rrc.tail_mj").inc(float(tail.sum()))
         return tail
+
+    def state_counts(self) -> dict[str, int]:
+        """Vectorised per-state device counts ``{"dch", "fach", "idle"}``.
+
+        Matches :meth:`states` element-for-element (tested) but runs in
+        a handful of NumPy ops — cheap enough to call every slot from
+        the instrumented engine.
+        """
+        t1, t2 = self.params.t1_s, self.params.t2_s
+        age = self.idle_age_s
+        dch = (age <= 0.0) | (self.ever_transmitted & (age < t1))
+        fach = ~dch & self.ever_transmitted & (age < t1 + t2)
+        n_dch = int(dch.sum())
+        n_fach = int(fach.sum())
+        return {"dch": n_dch, "fach": n_fach, "idle": self.n_users - n_dch - n_fach}
 
     def expected_idle_cost_mj(self, dt_s: float) -> np.ndarray:
         """Vectorised :meth:`RRCStateMachine.expected_idle_cost_mj`."""
@@ -188,6 +223,11 @@ class RRCFleet:
         before = self.params.tail_energy_mj(self.idle_age_s)
         after = self.params.tail_energy_mj(self.idle_age_s + dt_s)
         return np.where(self.ever_transmitted, after - before, 0.0)
+
+    def occupancy_from_tx(self, tx: np.ndarray, dt_s: float) -> dict[str, int]:
+        """Batch :meth:`state_counts` totals for a whole run, see
+        :func:`fleet_occupancy_from_tx`."""
+        return fleet_occupancy_from_tx(tx, dt_s, self.params)
 
     def states(self) -> list[RRCState]:
         """Current per-device states (for inspection/plotting)."""
@@ -205,3 +245,37 @@ class RRCFleet:
             else:
                 out.append(RRCState.IDLE)
         return out
+
+
+def fleet_occupancy_from_tx(
+    tx: np.ndarray, dt_s: float, params: RRCParams | None = None
+) -> dict[str, int]:
+    """Total user-slots spent in each RRC state over a whole run.
+
+    ``tx`` is the ``(n_slots, n_users)`` boolean transmission history of
+    a *freshly created* :class:`RRCFleet` stepped once per row.  The
+    returned ``{"dch", "fach", "idle"}`` totals equal the sum of
+    :meth:`RRCFleet.state_counts` taken after every step (tested) — but
+    computed in one vectorised pass, which is how the instrumented
+    engine accounts occupancy without paying per-slot numpy dispatch in
+    the hot loop.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt_s must be positive")
+    params = params if params is not None else RRCParams()
+    tx = np.asarray(tx, dtype=bool)
+    if tx.ndim != 2:
+        raise ConfigurationError("tx history must be 2-D (n_slots, n_users)")
+    if tx.size == 0:
+        return {"dch": 0, "fach": 0, "idle": 0}
+    n_slots = tx.shape[0]
+    slots = np.arange(n_slots)[:, None]
+    # Slot index of each device's most recent transmission (-1: never).
+    last = np.maximum.accumulate(np.where(tx, slots, -1), axis=0)
+    ever = last >= 0
+    age_s = (slots - last) * dt_s
+    dch = ever & ((age_s <= 0.0) | (age_s < params.t1_s))
+    fach = ever & ~dch & (age_s < params.t1_s + params.t2_s)
+    n_dch = int(np.count_nonzero(dch))
+    n_fach = int(np.count_nonzero(fach))
+    return {"dch": n_dch, "fach": n_fach, "idle": int(tx.size) - n_dch - n_fach}

@@ -21,9 +21,18 @@ Each slot runs the paper's pipeline in order:
 The engine is deliberately strict: it asserts conservation invariants
 as it goes (delivered bytes never exceed capacity or session size) and
 fails loudly on scheduler misbehaviour.
+
+Observability: pass an :class:`~repro.obs.instrument.Instrumentation`
+bundle (or establish one ambiently with
+:func:`~repro.obs.instrument.use_instrumentation`) and the engine times
+every phase, counts slots/energy into the metrics registry, and emits
+one ``"slot"`` trace event per simulated slot.  Instrumentation is
+strictly observational — instrumented and plain runs are bit-identical.
 """
 
 from __future__ import annotations
+
+from time import perf_counter
 
 import numpy as np
 
@@ -33,7 +42,8 @@ from repro.media.player import StreamingClient
 from repro.net.basestation import BaseStation, ConstantCapacity
 from repro.net.gateway import Gateway
 from repro.net.slicing import ResourceSlicer
-from repro.radio.rrc import RRCFleet
+from repro.obs.instrument import Instrumentation, current_instrumentation
+from repro.radio.rrc import RRCFleet, fleet_occupancy_from_tx
 from repro.sim.config import SimConfig
 from repro.sim.results import SimulationResult
 from repro.sim.workload import Workload, generate_workload
@@ -54,11 +64,23 @@ class Simulation:
         Pre-generated workload; ``None`` generates one from the
         config's seed.  Pass the same :class:`Workload` object to
         several simulations to compare schedulers head-to-head.
+    instrumentation:
+        Optional observability bundle.  ``None`` falls back to the
+        ambient bundle established by
+        :func:`~repro.obs.instrument.use_instrumentation` (and runs
+        fully uninstrumented when there is none).
     """
 
-    def __init__(self, config: SimConfig, scheduler, workload: Workload | None = None):
+    def __init__(
+        self,
+        config: SimConfig,
+        scheduler,
+        workload: Workload | None = None,
+        instrumentation: Instrumentation | None = None,
+    ):
         self.config = config
         self.scheduler = scheduler
+        self.instrumentation = instrumentation
         self.workload = workload if workload is not None else generate_workload(config)
         if self.workload.n_users != config.n_users:
             raise SimulationError(
@@ -76,7 +98,36 @@ class Simulation:
         radio = cfg.radio
         n, gamma = cfg.n_users, cfg.n_slots
 
+        instr = (
+            self.instrumentation
+            if self.instrumentation is not None
+            else current_instrumentation()
+        )
+        # The hot loop appends perf_counter deltas to the profiler's raw
+        # sample lists rather than entering a context manager per phase
+        # per slot, and all registry accounting that can be derived from
+        # the recorded grids happens in one vectorised batch after the
+        # loop — this is what keeps NullTracer instrumentation under the
+        # 2% overhead budget (guarded in benchmarks/bench_kernels.py).
+        instrumented = instr is not None
+        if instrumented:
+            tracer = instr.tracer
+            trace_on = tracer.enabled
+            prof = instr.profiler
+            # Register phases in pipeline order so the summary table
+            # reads top-to-bottom like a slot (observe/schedule/transmit
+            # are appended to by the gateway).
+            _pc = perf_counter
+            rec_playback = prof.samples("playback").append
+            prof.samples("observe")
+            prof.samples("schedule")
+            prof.samples("transmit")
+            rec_rrc = prof.samples("rrc").append
+            rec_feedback = prof.samples("feedback").append
+            budgets = np.zeros(gamma, dtype=np.int64)
+
         self.scheduler.reset()
+        self.scheduler.bind_instrumentation(instr)
         clients = [
             StreamingClient(flow.video, cfg.tau_s, cfg.buffer_capacity_s)
             for flow in self.workload.flows
@@ -106,6 +157,8 @@ class Simulation:
             # 1. Playback: Eq. (7)/(8) with last slot's deliveries.
             #    Sessions that have not arrived yet do not play (and do
             #    not accrue startup rebuffering).
+            if instrumented:
+                _t0 = _pc()
             for i, client in enumerate(clients):
                 if slot < arrivals[i]:
                     continue
@@ -113,8 +166,10 @@ class Simulation:
                 rebuf[slot, i] = c_i
                 if completion[i] < 0 and client.playback_complete:
                     completion[i] = slot
+            if instrumented:
+                rec_playback(_pc() - _t0)
 
-            # 2-4. Observe, schedule, transmit.
+            # 2-4. Observe, schedule, transmit (timed inside the gateway).
             idle_cost = rrc.expected_idle_cost_mj(cfg.tau_s)
             obs, phi, sent_kb = gateway.step(
                 slot,
@@ -124,18 +179,28 @@ class Simulation:
                 radio.throughput,
                 radio.power,
                 idle_cost,
+                instrumentation=instr,
             )
             check_constraints(phi, obs)
             if np.any(sent_kb > phi * cfg.delta_kb + 1e-9):
                 raise SimulationError(f"slot {slot}: delivered more than allocated")
 
             # 5. Radio energy accounting (Eq. 5: trans XOR tail).
+            #    Occupancy/tail metrics are batch-derived after the loop.
+            if instrumented:
+                _t0 = _pc()
             tx_mask = sent_kb > 0.0
             e_trans[slot] = obs.p_mj_per_kb * sent_kb
             e_tail[slot] = rrc.step(tx_mask, cfg.tau_s)
+            if instrumented:
+                rec_rrc(_pc() - _t0)
 
             # 6. Scheduler feedback.
+            if instrumented:
+                _t0 = _pc()
             self.scheduler.notify(obs, phi, sent_kb)
+            if instrumented:
+                rec_feedback(_pc() - _t0)
 
             alloc[slot] = phi
             delivered[slot] = sent_kb
@@ -143,8 +208,48 @@ class Simulation:
             need_kb[slot] = obs.rate_kbps * cfg.tau_s
             active_rec[slot] = obs.active
 
+            if instrumented:
+                budgets[slot] = obs.unit_budget
+            if instrumented and trace_on:
+                tracer.emit(
+                    "slot",
+                    slot=slot,
+                    active_users=int(obs.active.sum()),
+                    tx_users=int(tx_mask.sum()),
+                    allocated_units=int(phi.sum()),
+                    unit_budget=int(obs.unit_budget),
+                    delivered_kb=float(sent_kb.sum()),
+                    rebuffering_s=float(rebuf[slot].sum()),
+                    energy_trans_mj=float(e_trans[slot].sum()),
+                    energy_tail_mj=float(e_tail[slot].sum()),
+                    mean_buffer_s=float(obs.buffer_s.mean()),
+                )
+
         if not np.all(np.isfinite(e_trans)):
             raise SimulationError("non-finite transmission energy recorded")
+
+        if instrumented:
+            # Batch registry accounting: identical totals to per-slot
+            # increments, derived from the recorded grids in a few
+            # vectorised operations.
+            metrics = instr.metrics
+            metrics.counter("engine.slots").inc(gamma)
+            metrics.counter("energy.trans_mj").inc(float(e_trans.sum()))
+            metrics.counter("rrc.tail_mj").inc(float(e_tail.sum()))
+            occupancy = fleet_occupancy_from_tx(delivered > 0.0, cfg.tau_s, radio.rrc)
+            metrics.counter("rrc.occupancy.dch").inc(occupancy["dch"])
+            metrics.counter("rrc.occupancy.fach").inc(occupancy["fach"])
+            metrics.counter("rrc.occupancy.idle").inc(occupancy["idle"])
+            metrics.counter("scheduler.invocations").inc(gamma)
+            used_units = alloc.sum(axis=1)
+            near_miss = int(
+                np.count_nonzero((budgets > 0) & (used_units > 0.9 * budgets))
+            )
+            metrics.counter("allocation.near_miss").inc(near_miss)
+            truncated = float(
+                np.maximum(alloc * cfg.delta_kb - delivered, 0.0).sum()
+            )
+            metrics.counter("allocation.truncated_kb").inc(truncated)
         return SimulationResult(
             scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
             config=cfg,
@@ -158,4 +263,5 @@ class Simulation:
             active=active_rec,
             completion_slot=completion,
             arrival_slot=arrivals,
+            phase_timings=instr.profiler.summary() if instrumented else None,
         )

@@ -59,6 +59,11 @@ def jain_fairness(shares: np.ndarray) -> float:
     total = x.sum()
     if total == 0.0:
         return 1.0
+    # The index is scale-invariant; normalising by the max keeps
+    # x.dot(x) away from underflow (subnormal shares would square to
+    # zero and yield NaN) and overflow alike.
+    x = x / x.max()
+    total = x.sum()
     return float(total * total / (x.size * np.dot(x, x)))
 
 

@@ -95,6 +95,10 @@ class SimulationResult:
     completion_slot: np.ndarray
     #: Per-user session start slot.
     arrival_slot: np.ndarray
+    #: Per-phase wall-clock summary from the run's profiler
+    #: (``None`` when the run was uninstrumented).  Keys are phase
+    #: names; values are ``count/total_s/mean_s/p50_s/p95_s/max_s``.
+    phase_timings: dict | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         shape = self.allocation_units.shape
@@ -188,6 +192,23 @@ class SimulationResult:
         """Mean rebuffering per user-slot within session windows, s."""
         mask = self.session_mask()
         return float(self.rebuffering_s[mask].mean())
+
+    def to_summary_dict(self) -> dict:
+        """One flat dict with every headline aggregate of this run.
+
+        The canonical derivation of PE/PC/fairness/completion numbers —
+        the CLI, the summary tables, and the benches all read this
+        instead of re-deriving their own aggregates.  Includes the
+        per-phase wall-clock timings when the run was instrumented.
+        """
+        out = self.summary().as_dict()
+        out["n_users"] = int(self.allocation_units.shape[1])
+        out["n_slots"] = int(self.allocation_units.shape[0])
+        out["completed_users"] = int((self.completion_slot >= 0).sum())
+        out["delivered_total_kb"] = float(self.delivered_kb.sum())
+        if self.phase_timings is not None:
+            out["phase_timings"] = self.phase_timings
+        return out
 
     def summary(self) -> SummaryStats:
         fairness = self.fairness_per_slot()

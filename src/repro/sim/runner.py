@@ -10,6 +10,7 @@ experiment scripts and benches stay declarative.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.baselines.default import DefaultScheduler
 from repro.core.ema import EMAScheduler
 from repro.core.rtma import RTMAScheduler
 from repro.errors import ConfigurationError
+from repro.obs.instrument import Instrumentation, current_instrumentation
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
 from repro.sim.results import SimulationResult
@@ -36,17 +38,30 @@ __all__ = [
 ]
 
 
+def _resolve_instrumentation(
+    instrumentation: Instrumentation | None,
+) -> Instrumentation | None:
+    """Explicit bundle wins; otherwise the ambient one (may be None)."""
+    if instrumentation is not None:
+        return instrumentation
+    return current_instrumentation()
+
+
 def run_scheduler(
-    config: SimConfig, scheduler, workload: Workload | None = None
+    config: SimConfig,
+    scheduler,
+    workload: Workload | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SimulationResult:
     """Run one scheduler on one (optionally shared) workload."""
-    return Simulation(config, scheduler, workload).run()
+    return Simulation(config, scheduler, workload, instrumentation=instrumentation).run()
 
 
 def compare_schedulers(
     config: SimConfig,
     schedulers: Mapping[str, object],
     workload: Workload | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> dict[str, SimulationResult]:
     """Run several schedulers on the *identical* workload.
 
@@ -55,7 +70,16 @@ def compare_schedulers(
     if not schedulers:
         raise ConfigurationError("need at least one scheduler")
     wl = workload if workload is not None else generate_workload(config)
-    return {name: run_scheduler(config, sched, wl) for name, sched in schedulers.items()}
+    instr = _resolve_instrumentation(instrumentation)
+    results: dict[str, SimulationResult] = {}
+    for name, sched in schedulers.items():
+        res = run_scheduler(config, sched, wl, instrumentation=instrumentation)
+        results[name] = res
+        if instr is not None and instr.tracer.enabled:
+            instr.tracer.emit(
+                "compare.run", scheduler=name, pe_mj=res.pe_mj, pc_s=res.pc_s
+            )
+    return results
 
 
 def sweep(
@@ -63,16 +87,29 @@ def sweep(
     axis: str,
     values: Sequence,
     scheduler_factory: Callable[[SimConfig], object],
+    instrumentation: Instrumentation | None = None,
 ) -> list[SimulationResult]:
     """Vary one config axis, building a fresh scheduler per point.
 
     ``scheduler_factory`` receives the point's config — this is where
     calibrated policies (RTMA with alpha-scaled budgets) plug in.
     """
+    instr = _resolve_instrumentation(instrumentation)
     results = []
     for value in values:
         cfg = base_config.with_(**{axis: value})
-        results.append(run_scheduler(cfg, scheduler_factory(cfg)))
+        res = run_scheduler(cfg, scheduler_factory(cfg), instrumentation=instrumentation)
+        results.append(res)
+        if instr is not None:
+            instr.metrics.counter("sweep.points").inc()
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "sweep.point",
+                    axis=axis,
+                    value=value,
+                    pe_mj=res.pe_mj,
+                    pc_s=res.pc_s,
+                )
     return results
 
 
@@ -89,6 +126,7 @@ def calibrate_rtma_threshold(
     workload: Workload | None = None,
     iterations: int = 9,
     calibration_slots: int | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> float:
     """Find the least-restrictive signal threshold meeting the Eq. (10)
     budget ``Phi = alpha * E_default``.
@@ -106,6 +144,8 @@ def calibrate_rtma_threshold(
     """
     if alpha <= 0:
         raise ConfigurationError("alpha must be positive")
+    instr = _resolve_instrumentation(instrumentation)
+    started = time.perf_counter()
     slots = calibration_slots or min(config.n_slots, 2000)
     cal_cfg = config.with_(n_slots=slots)
     wl = None
@@ -118,10 +158,34 @@ def calibrate_rtma_threshold(
 
     def pe_for(threshold: float) -> float:
         sched = RTMAScheduler(sig_threshold_dbm=threshold)
-        return run_scheduler(cal_cfg, sched, wl).pe_mj
+        pe = run_scheduler(cal_cfg, sched, wl).pe_mj
+        if instr is not None:
+            instr.metrics.counter("calibration.grid_evaluations").inc()
+            instr.metrics.histogram("calibration.rtma.pe_mj").observe(pe)
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "calibration.rtma.point",
+                    threshold_dbm=threshold,
+                    pe_mj=pe,
+                    budget_mj=budget,
+                )
+        return pe
+
+    def finish(threshold: float, feasible: bool) -> float:
+        if instr is not None:
+            instr.profiler.record("calibrate_rtma", time.perf_counter() - started)
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "calibration.rtma.result",
+                    threshold_dbm=threshold,
+                    feasible=feasible,
+                    alpha=alpha,
+                    budget_mj=budget,
+                )
+        return threshold
 
     if pe_for(float("-inf")) <= budget:
-        return float("-inf")
+        return finish(float("-inf"), True)
     # PE is not monotone in the threshold (a stricter threshold trades
     # transmission energy for extra tail toggling), so scan a grid
     # instead of bisecting.  Feasible -> least restrictive feasible
@@ -141,8 +205,9 @@ def calibrate_rtma_threshold(
     pes = np.array([pe_for(float(t)) for t in grid])
     feasible = pes <= budget
     if np.any(feasible):
-        return float(grid[np.argmax(feasible)])  # weakest feasible threshold
-    return float(grid[np.argmin(pes)])
+        # Weakest feasible threshold (smallest rebuffering impact).
+        return finish(float(grid[np.argmax(feasible)]), True)
+    return finish(float(grid[np.argmin(pes)]), False)
 
 
 def make_rtma_for_alpha(
@@ -188,6 +253,7 @@ def calibrate_ema_v(
     v_hi: float = 50.0,
     iterations: int = 12,
     calibration_slots: int | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> float:
     """Pick EMA's ``V`` so measured PC approaches a bound ``Omega``.
 
@@ -203,14 +269,47 @@ def calibrate_ema_v(
         raise ConfigurationError("rebuffering bound must be positive")
     if not 0 < v_lo < v_hi:
         raise ConfigurationError("need 0 < v_lo < v_hi")
+    instr = _resolve_instrumentation(instrumentation)
+    started = time.perf_counter()
     slots = calibration_slots or min(config.n_slots, 1500)
     cal_cfg = config.with_(n_slots=slots)
-    wl = workload if workload is not None else generate_workload(cal_cfg)
+    # A workload shorter than the calibration horizon cannot drive the
+    # inner runs (the engine rejects it); regenerate instead, matching
+    # the guard in calibrate_rtma_threshold / calibrate_ema_v_to_reference.
+    wl = None
+    if workload is not None and workload.n_slots >= slots:
+        wl = workload
+    if wl is None:
+        wl = generate_workload(cal_cfg)
 
     def run_v(v: float):
         sched = EMAScheduler(cal_cfg.n_users, v_param=v, tau_s=cal_cfg.tau_s)
         res = run_scheduler(cal_cfg, sched, wl)
+        if instr is not None:
+            instr.metrics.counter("calibration.grid_evaluations").inc()
+            instr.metrics.histogram("calibration.ema.pc_s").observe(res.pc_s)
+            instr.metrics.histogram("calibration.ema.pe_mj").observe(res.pe_mj)
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "calibration.ema.point",
+                    v=v,
+                    pc_s=res.pc_s,
+                    pe_mj=res.pe_mj,
+                    bound_s=rebuffering_bound_s,
+                )
         return res.pc_s, res.pe_mj
+
+    def finish(v: float, feasible: bool) -> float:
+        if instr is not None:
+            instr.profiler.record("calibrate_ema", time.perf_counter() - started)
+            if instr.tracer.enabled:
+                instr.tracer.emit(
+                    "calibration.ema.result",
+                    v=v,
+                    feasible=feasible,
+                    bound_s=rebuffering_bound_s,
+                )
+        return v
 
     grid = np.geomspace(v_lo, v_hi, max(iterations, 4))
     measured = [run_v(float(v)) for v in grid]
@@ -221,8 +320,8 @@ def calibrate_ema_v(
         # Most energy-saving feasible setting: PE(V) is not monotone
         # once tails and receiver windows bite, so pick by measured PE
         # rather than by V.
-        return float(grid[feasible[np.argmin(pes[feasible])]])
-    return float(grid[np.argmin(pcs)])
+        return finish(float(grid[feasible[np.argmin(pes[feasible])]]), True)
+    return finish(float(grid[np.argmin(pcs)]), False)
 
 
 def calibrate_ema_v_to_reference(
@@ -264,10 +363,17 @@ def multi_seed(
     config: SimConfig,
     scheduler_factory: Callable[[SimConfig], object],
     seeds: Iterable[int],
+    instrumentation: Instrumentation | None = None,
 ) -> list[SimulationResult]:
     """Replicate a run across seeds (for confidence intervals)."""
+    instr = _resolve_instrumentation(instrumentation)
     out = []
     for seed in seeds:
         cfg = config.with_(seed=seed)
-        out.append(run_scheduler(cfg, scheduler_factory(cfg)))
+        res = run_scheduler(cfg, scheduler_factory(cfg), instrumentation=instrumentation)
+        out.append(res)
+        if instr is not None and instr.tracer.enabled:
+            instr.tracer.emit(
+                "multi_seed.run", seed=seed, pe_mj=res.pe_mj, pc_s=res.pc_s
+            )
     return out

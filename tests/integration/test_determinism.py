@@ -1,0 +1,114 @@
+"""Deterministic replay and the observer-effect guarantee.
+
+Two invariants the rest of the repo leans on:
+
+* the same :class:`~repro.sim.config.SimConfig` (same seed) replayed
+  twice produces byte-identical result arrays — figures and calibration
+  sweeps are exactly reproducible;
+* attaching instrumentation never changes a run — tracing, metrics, and
+  profiling are strictly observational.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import DefaultScheduler
+from repro.core.ema import EMAScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.obs import Instrumentation, NullTracer, RecordingTracer
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+
+RESULT_ARRAYS = (
+    "allocation_units",
+    "delivered_kb",
+    "rebuffering_s",
+    "energy_trans_mj",
+    "energy_tail_mj",
+    "buffer_s",
+    "need_kb",
+    "active",
+    "completion_slot",
+    "arrival_slot",
+)
+
+
+def assert_bytes_equal(a, b):
+    for name in RESULT_ARRAYS:
+        assert (
+            getattr(a, name).tobytes() == getattr(b, name).tobytes()
+        ), f"{name} differs between runs"
+
+
+@pytest.fixture
+def replay_config():
+    return SimConfig(
+        n_users=8,
+        n_slots=150,
+        capacity_kbps=5_000.0,
+        video_size_range_kb=(30_000.0, 60_000.0),
+        buffer_capacity_s=60.0,
+        seed=11,
+    )
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda: DefaultScheduler(),
+            lambda: RTMAScheduler(),
+            lambda: EMAScheduler(8, v_param=0.1),
+        ],
+        ids=["default", "rtma", "ema"],
+    )
+    def test_same_config_same_seed_is_byte_identical(
+        self, replay_config, make_scheduler
+    ):
+        first = Simulation(replay_config, make_scheduler()).run()
+        second = Simulation(replay_config, make_scheduler()).run()
+        assert_bytes_equal(first, second)
+
+    def test_different_seed_differs(self, replay_config):
+        a = Simulation(replay_config, DefaultScheduler()).run()
+        b = Simulation(replay_config.with_(seed=12), DefaultScheduler()).run()
+        assert a.delivered_kb.tobytes() != b.delivered_kb.tobytes()
+
+
+class TestObserverEffect:
+    @pytest.mark.parametrize(
+        "make_instr",
+        [
+            lambda: Instrumentation(tracer=NullTracer()),
+            lambda: Instrumentation(tracer=RecordingTracer()),
+        ],
+        ids=["null-tracer", "recording-tracer"],
+    )
+    def test_instrumented_run_bit_identical_to_plain(self, replay_config, make_instr):
+        plain = Simulation(replay_config, DefaultScheduler()).run()
+        instr = make_instr()
+        observed = Simulation(
+            replay_config, DefaultScheduler(), instrumentation=instr
+        ).run()
+        assert_bytes_equal(plain, observed)
+
+    def test_instrumented_ema_bit_identical(self, replay_config):
+        plain = Simulation(replay_config, EMAScheduler(8, v_param=0.2)).run()
+        instr = Instrumentation(tracer=RecordingTracer())
+        observed = Simulation(
+            replay_config, EMAScheduler(8, v_param=0.2), instrumentation=instr
+        ).run()
+        assert_bytes_equal(plain, observed)
+        # The EMA queue trace mirrors the run it observed, without
+        # having altered it.
+        queue_events = instr.tracer.of_kind("ema.queues")
+        assert len(queue_events) == replay_config.n_slots
+
+    def test_summary_unaffected_by_instrumentation(self, replay_config):
+        plain = Simulation(replay_config, DefaultScheduler()).run()
+        observed = Simulation(
+            replay_config, DefaultScheduler(), instrumentation=Instrumentation()
+        ).run()
+        assert plain.pe_mj == observed.pe_mj
+        assert plain.pc_s == observed.pc_s
+        assert np.array_equal(plain.completion_slot, observed.completion_slot)

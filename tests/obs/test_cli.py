@@ -1,0 +1,39 @@
+"""End-to-end test of the ``repro-trace`` CLI (quickstart target)."""
+
+import json
+
+from repro.obs.cli import main
+
+
+class TestReproTrace:
+    def test_quickstart_writes_all_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "trace_out"
+        rc = main(["quickstart", "--out", str(out)])
+        assert rc == 0
+
+        trace = out / "trace.jsonl"
+        manifest_path = out / "manifest.json"
+        metrics_path = out / "metrics.json"
+        assert trace.exists() and manifest_path.exists() and metrics_path.exists()
+
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        slot_events = [e for e in events if e["kind"] == "slot"]
+        # >= 1 event per simulated slot: two schedulers x 300 slots.
+        assert len(slot_events) >= 600
+
+        manifest = json.loads(manifest_path.read_text())
+        assert len(manifest["config_hash"]) == 64
+        assert manifest["seed"] == 0
+        assert manifest["package_version"]
+        assert manifest["wall_time_s"] > 0
+        assert manifest["extra"]["n_trace_events"] == len(events)
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["engine.slots"] == 600
+        assert metrics["counters"]["scheduler.invocations"] == 600
+
+        printed = capsys.readouterr().out
+        # Phase table covers the full pipeline.
+        for phase in ("playback", "observe", "schedule", "transmit", "rrc", "feedback"):
+            assert phase in printed
+        assert "scheduler" in printed  # summary table header

@@ -1,0 +1,96 @@
+"""Tests for the metrics registry primitives."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 95.0) == 4.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(percentile([], 50.0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").inc(-1.0)
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram("h")
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["p50"] == 2.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        reg = MetricsRegistry()
+        a = reg.counter("engine.slots")
+        b = reg.counter("engine.slots")
+        assert a is b
+        a.inc(5)
+        assert b.value == 5
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_contains_len_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "b" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(np.array([1.0, 2.0]))
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == [1.0, 2.0]
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_write_json_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("scalar").set(np.float64(1.5))
+        path = reg.write_json(tmp_path / "sub" / "metrics.json")
+        data = json.loads(path.read_text())
+        assert data["counters"]["c"] == 1
+        assert data["gauges"]["scalar"] == 1.5

@@ -1,0 +1,62 @@
+"""Tests for the phase profiler."""
+
+from repro.obs.profiler import PhaseProfiler, null_phase
+
+
+class TestNullPhase:
+    def test_noop_context(self):
+        with null_phase("anything"):
+            pass
+
+
+class TestPhaseProfiler:
+    def test_phase_times_entries(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.phase("work"):
+                pass
+        s = prof.summary()["work"]
+        assert s["count"] == 3
+        assert s["total_s"] >= 0.0
+        assert s["p50_s"] <= s["p95_s"] <= s["max_s"]
+
+    def test_phase_returns_cached_timer(self):
+        prof = PhaseProfiler()
+        assert prof.phase("a") is prof.phase("a")
+
+    def test_samples_feeds_same_phase(self):
+        prof = PhaseProfiler()
+        raw = prof.samples("hot")
+        raw.append(0.25)
+        raw.append(0.75)
+        s = prof.summary()["hot"]
+        assert s["count"] == 2
+        assert s["total_s"] == 1.0
+        assert s["mean_s"] == 0.5
+
+    def test_phase_registration_order_is_first_use(self):
+        prof = PhaseProfiler()
+        prof.samples("playback")
+        prof.samples("observe")
+        prof.record("calibrate", 0.1)
+        prof.samples("playback").append(0.1)
+        prof.samples("observe").append(0.1)
+        assert list(prof.summary()) == ["playback", "observe", "calibrate"]
+
+    def test_record_external_sample(self):
+        prof = PhaseProfiler()
+        prof.record("calibrate_rtma", 1.5)
+        assert prof.summary()["calibrate_rtma"]["total_s"] == 1.5
+
+    def test_render_table_lists_phases(self):
+        prof = PhaseProfiler()
+        prof.record("rrc", 0.001)
+        text = prof.render_table()
+        assert "rrc" in text
+        assert "p95 (us)" in text
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        prof.record("x", 1.0)
+        prof.reset()
+        assert prof.summary() == {}

@@ -1,0 +1,66 @@
+"""Tests for config hashing and the run manifest."""
+
+import json
+
+from repro.obs.provenance import RunManifest, build_manifest, config_hash, git_revision
+from repro.sim.config import SimConfig
+
+
+class TestConfigHash:
+    def test_stable_across_equal_configs(self):
+        a = SimConfig(n_users=4, n_slots=50, seed=3)
+        b = SimConfig(n_users=4, n_slots=50, seed=3)
+        assert config_hash(a) == config_hash(b)
+        assert len(config_hash(a)) == 64
+
+    def test_sensitive_to_any_field(self):
+        base = SimConfig(n_users=4, n_slots=50, seed=3)
+        assert config_hash(base) != config_hash(base.with_(seed=4))
+        assert config_hash(base) != config_hash(base.with_(n_slots=51))
+        assert config_hash(base) != config_hash(base.with_(capacity_kbps=1.0))
+
+
+class TestGitRevision:
+    def test_returns_hash_in_this_repo(self):
+        rev = git_revision()
+        assert rev is None or (len(rev) == 40 and all(c in "0123456789abcdef" for c in rev))
+
+    def test_none_outside_a_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+class TestManifest:
+    def test_build_manifest_fields(self):
+        cfg = SimConfig(n_users=4, n_slots=50, seed=3)
+        m = build_manifest(cfg, target="quickstart")
+        assert m.config_hash == config_hash(cfg)
+        assert m.seed == 3
+        assert m.n_users == 4
+        assert m.n_slots == 50
+        assert m.package_version
+        assert m.python_version
+        assert m.extra == {"target": "quickstart"}
+
+    def test_write_json(self, tmp_path):
+        cfg = SimConfig(n_users=2, n_slots=10, seed=1)
+        m = build_manifest(cfg)
+        m.wall_time_s = 1.25
+        path = m.write_json(tmp_path / "out" / "manifest.json")
+        data = json.loads(path.read_text())
+        assert data["config_hash"] == m.config_hash
+        assert data["wall_time_s"] == 1.25
+
+    def test_manifest_is_plain_dataclass(self):
+        m = RunManifest(
+            config_hash="x",
+            seed=0,
+            n_users=1,
+            n_slots=1,
+            package_version="0",
+            git_rev=None,
+            python_version="3",
+            numpy_version="2",
+            platform="p",
+            created_at=0.0,
+        )
+        assert m.as_dict()["git_rev"] is None

@@ -1,0 +1,82 @@
+"""Tests for the structured event tracers."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import JsonlTraceWriter, NullTracer, RecordingTracer
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NullTracer().enabled is False
+
+    def test_emit_is_noop(self):
+        t = NullTracer()
+        t.emit("slot", slot=0, value=1.0)
+        t.close()
+
+    def test_context_manager(self):
+        with NullTracer() as t:
+            t.emit("x")
+
+
+class TestRecordingTracer:
+    def test_records_kind_and_fields(self):
+        t = RecordingTracer()
+        t.emit("slot", slot=3, delivered_kb=12.5)
+        t.emit("calibration.point", v=0.1)
+        assert len(t.events) == 2
+        assert t.events[0]["kind"] == "slot"
+        assert t.events[0]["slot"] == 3
+        assert t.of_kind("slot") == [t.events[0]]
+        assert t.of_kind("missing") == []
+
+    def test_enabled(self):
+        assert RecordingTracer().enabled is True
+
+
+class TestJsonlTraceWriter:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as t:
+            t.emit("slot", slot=0, delivered_kb=1.5)
+            t.emit("slot", slot=1, delivered_kb=0.0)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["kind"] == "slot"
+        assert events[1]["slot"] == 1
+        assert t.n_events == 2
+
+    def test_numpy_values_serialised(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as t:
+            t.emit(
+                "queues",
+                vec=np.array([1.0, 2.0]),
+                count=np.int64(7),
+                scalar=np.float64(0.5),
+            )
+        event = json.loads(path.read_text())
+        assert event["vec"] == [1.0, 2.0]
+        assert event["count"] == 7
+        assert event["scalar"] == 0.5
+
+    def test_non_finite_floats_survive_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as t:
+            t.emit("edge", value=float("inf"), other=float("nan"))
+        # Strict JSON: no bare Infinity/NaN tokens in the file.
+        event = json.loads(path.read_text(), parse_constant=lambda s: pytest.fail(s))
+        assert isinstance(event["value"], str)
+        assert isinstance(event["other"], str)
+        assert math.isinf(float(event["value"]))
+
+    def test_enabled_and_path(self, tmp_path):
+        t = JsonlTraceWriter(tmp_path / "t.jsonl")
+        assert t.enabled is True
+        assert t.path == tmp_path / "t.jsonl"
+        t.close()

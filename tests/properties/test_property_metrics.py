@@ -1,0 +1,109 @@
+"""Property-based tests for the evaluation metrics (Section VI-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sim.metrics import empirical_cdf, jain_fairness, per_slot_fairness
+
+finite_shares = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 32),
+    elements=st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestJainFairness:
+    @given(finite_shares)
+    def test_bounded_between_one_over_n_and_one(self, shares):
+        j = jain_fairness(shares)
+        n = shares.size
+        assert 1.0 / n - 1e-12 <= j <= 1.0 + 1e-12
+
+    @given(st.integers(1, 32), st.floats(1e-3, 1e6, allow_nan=False))
+    def test_equal_shares_are_perfectly_fair(self, n, value):
+        assert jain_fairness(np.full(n, value)) == pytest.approx(1.0, rel=1e-9)
+
+    @given(st.integers(2, 32), st.floats(1e-3, 1e6, allow_nan=False))
+    def test_single_taker_hits_lower_bound(self, n, value):
+        shares = np.zeros(n)
+        shares[0] = value
+        assert jain_fairness(shares) == pytest.approx(1.0 / n, rel=1e-9)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness(np.zeros(5)) == 1.0
+
+
+@st.composite
+def fairness_grids(draw):
+    n_slots = draw(st.integers(1, 12))
+    n_users = draw(st.integers(1, 8))
+    shape = (n_slots, n_users)
+    delivered = draw(
+        hnp.arrays(np.float64, shape, elements=st.floats(0.0, 1e4, allow_nan=False))
+    )
+    # Positive needs are bounded away from zero: d/need must not
+    # overflow (a subnormal need would take F_i to inf).
+    need = draw(
+        hnp.arrays(
+            np.float64,
+            shape,
+            elements=st.one_of(st.just(0.0), st.floats(0.01, 1e4)),
+        )
+    )
+    active = draw(hnp.arrays(np.bool_, shape))
+    min_active = draw(st.integers(1, n_users + 2))
+    return delivered, need, active, min_active
+
+
+class TestPerSlotFairness:
+    @given(fairness_grids())
+    def test_nan_exactly_where_below_min_active(self, grid):
+        delivered, need, active, min_active = grid
+        jain = per_slot_fairness(delivered, need, active, min_active=min_active)
+        n_active = active.sum(axis=1)
+        assert jain.shape == (delivered.shape[0],)
+        nan_mask = np.isnan(jain)
+        assert np.array_equal(nan_mask, n_active < min_active)
+
+    @given(fairness_grids())
+    def test_finite_values_within_jain_bounds(self, grid):
+        delivered, need, active, min_active = grid
+        jain = per_slot_fairness(delivered, need, active, min_active=min_active)
+        finite = jain[~np.isnan(jain)]
+        n_users = delivered.shape[1]
+        assert np.all(finite >= 1.0 / n_users - 1e-12)
+        assert np.all(finite <= 1.0 + 1e-12)
+
+
+class TestEmpiricalCdf:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 200),
+            elements=st.floats(-1e9, 1e9, allow_nan=False),
+        )
+    )
+    def test_sorted_and_ends_at_one(self, samples):
+        x, p = empirical_cdf(samples)
+        assert x.shape == p.shape
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == 1.0
+        assert p[0] > 0.0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(2, 50),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        st.integers(1, 10),
+    )
+    def test_nans_dropped(self, samples, n_nans):
+        with_nans = np.concatenate([samples, np.full(n_nans, np.nan)])
+        x, p = empirical_cdf(with_nans)
+        assert x.size == samples.size
+        assert p[-1] == 1.0

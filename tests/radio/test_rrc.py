@@ -135,3 +135,57 @@ class TestFleet:
             fleet.step(np.zeros(3, dtype=bool), 1.0)
         with pytest.raises(ConfigurationError):
             RRCFleet(0)
+
+
+class TestFleetInstrumentation:
+    def _random_history(self, n_slots, n_users, p, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.random((n_slots, n_users)) < p
+
+    @pytest.mark.parametrize("p_tx", [0.0, 0.2, 0.7, 1.0])
+    def test_batch_occupancy_matches_per_step_counts(self, p_tx):
+        from repro.radio.rrc import fleet_occupancy_from_tx
+
+        tx = self._random_history(80, 5, p_tx)
+        fleet = RRCFleet(5)
+        totals = {"dch": 0, "fach": 0, "idle": 0}
+        for row in tx:
+            fleet.step(row, 1.0)
+            for state, count in fleet.state_counts().items():
+                totals[state] += count
+        assert fleet_occupancy_from_tx(tx, 1.0, fleet.params) == totals
+
+    def test_state_counts_matches_states(self):
+        tx = self._random_history(40, 6, 0.3, seed=3)
+        fleet = RRCFleet(6)
+        for row in tx:
+            fleet.step(row, 1.0)
+            counts = fleet.state_counts()
+            states = fleet.states()
+            assert counts["dch"] == sum(s is RRCState.DCH for s in states)
+            assert counts["fach"] == sum(s is RRCState.FACH for s in states)
+            assert counts["idle"] == sum(s is RRCState.IDLE for s in states)
+
+    def test_step_instrumentation_counters(self):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation()
+        fleet = RRCFleet(4)
+        tx = np.array([True, False, True, False])
+        fleet.step(tx, 1.0, instrumentation=instr)
+        counters = instr.metrics.snapshot()["counters"]
+        occupancy = (
+            counters["rrc.occupancy.dch"]
+            + counters["rrc.occupancy.fach"]
+            + counters["rrc.occupancy.idle"]
+        )
+        assert occupancy == 4
+        assert counters["rrc.tail_mj"] == 0.0  # nobody ever transmitted before
+
+    def test_occupancy_rejects_bad_input(self):
+        from repro.radio.rrc import fleet_occupancy_from_tx
+
+        with pytest.raises(ConfigurationError):
+            fleet_occupancy_from_tx(np.zeros((2, 2)), 0.0)
+        with pytest.raises(ConfigurationError):
+            fleet_occupancy_from_tx(np.zeros(4), 1.0)
