@@ -5,11 +5,56 @@ scale inside the benchmark timer (one round — these are end-to-end
 reproductions, not micro-benchmarks) and then asserts the figure's
 *shape*: who wins, in which direction, and roughly by how much.
 Micro-benchmarks of the hot kernels live in ``bench_kernels.py``.
+
+Passing ``--check <baseline.json>`` turns the session into a
+performance gate: after the benches finish (and have written their
+``BENCH_kernels.json``), every kernel's p50 is compared against the
+committed baseline via :func:`repro.obs.compare.compare_bench` and the
+session exits nonzero if any kernel slowed by more than 25%::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py \\
+        --benchmark-enable --check benchmarks/baseline_kernels.json
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check",
+        action="store",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="gate the session's BENCH_kernels.json against this baseline "
+        "(fail on any kernel p50 slowdown > 25%)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    baseline = session.config.getoption("--check")
+    if baseline is None or exitstatus != 0:
+        return
+    # The session fixture in bench_kernels.py has already torn down
+    # (fixture finalisers run before sessionfinish), so the fresh
+    # snapshot is on disk by now.
+    default = Path(__file__).resolve().parent / "BENCH_kernels.json"
+    candidate = Path(os.environ.get("BENCH_KERNELS_JSON", default))
+    if not candidate.exists():
+        print(f"\n--check: no kernel timings were written at {candidate}")
+        session.exitstatus = 1
+        return
+    from repro.obs.compare import compare_bench
+
+    report = compare_bench(baseline, candidate, threshold=0.25)
+    print(f"\nbench regression gate vs {baseline}:")
+    print(report.render())
+    if not report.ok:
+        session.exitstatus = 1
 
 
 def run_once(benchmark, fn, *args, **kwargs):

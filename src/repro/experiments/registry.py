@@ -89,6 +89,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--markdown", action="store_true", help="emit markdown tables"
     )
+    run_p.add_argument(
+        "--report-dir",
+        default=None,
+        help="trace each experiment and write trace.jsonl + metrics.json + "
+        "report.html under <report-dir>/<exp_id>/",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -99,11 +105,36 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     for exp_id in ids:
         start = time.perf_counter()
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        if args.report_dir is not None:
+            result = _run_with_report(exp_id, args)
+        else:
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
         elapsed = time.perf_counter() - start
         print(result.to_markdown() if args.markdown else result.render())
         print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
     return 0
+
+
+def _run_with_report(exp_id: str, args) -> ExperimentResult:
+    """Run one experiment fully traced and leave a reviewable run dir."""
+    from pathlib import Path
+
+    from repro.obs.report import write_report
+    from repro.obs.tracer import JsonlTraceWriter
+
+    out_dir = Path(args.report_dir) / exp_id
+    tracer = JsonlTraceWriter(out_dir / "trace.jsonl")
+    instr = Instrumentation(tracer=tracer)
+    try:
+        result = run_experiment(
+            exp_id, scale=args.scale, seed=args.seed, instrumentation=instr
+        )
+    finally:
+        tracer.close()
+    instr.metrics.write_json(out_dir / "metrics.json")
+    report = write_report(out_dir, title=f"{exp_id} ({args.scale}, seed {args.seed})")
+    print(f"[{exp_id} report: {report}]", file=sys.stderr)
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,15 @@ optional :class:`~repro.obs.instrument.Instrumentation` bundle:
   revision, package version);
 * :mod:`repro.obs.cli` — the ``repro-trace`` console entry point.
 
+On top of the emission side sits the analysis/verification backend:
+
+* :mod:`repro.obs.analyze` — trace -> per-user timelines + invariant
+  checking (``repro-analyze``);
+* :mod:`repro.obs.compare` — tolerance-aware run diffing and the
+  kernel-bench regression gate (``repro-compare``);
+* :mod:`repro.obs.report` — self-contained HTML run reports
+  (``repro-report``).
+
 Quick taste::
 
     from repro.obs import Instrumentation, RecordingTracer, use_instrumentation
@@ -22,6 +31,22 @@ Quick taste::
     print(instr.metrics.snapshot()["counters"]["rrc.occupancy.idle"])
 """
 
+from repro.obs.analyze import (
+    InvariantReport,
+    RunTimeline,
+    Violation,
+    check_invariants,
+    check_trace,
+    timeline_from_result,
+    timelines_from_trace,
+)
+from repro.obs.compare import (
+    ComparisonReport,
+    Tolerance,
+    compare_bench,
+    compare_metrics,
+    compare_runs,
+)
 from repro.obs.instrument import (
     Instrumentation,
     current_instrumentation,
@@ -30,9 +55,24 @@ from repro.obs.instrument import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler, PhaseTimer, null_phase
 from repro.obs.provenance import RunManifest, build_manifest, config_hash, git_revision
+from repro.obs.report import render_report, write_report
 from repro.obs.tracer import JsonlTraceWriter, NullTracer, RecordingTracer, Tracer
 
 __all__ = [
+    "RunTimeline",
+    "Violation",
+    "InvariantReport",
+    "check_invariants",
+    "check_trace",
+    "timeline_from_result",
+    "timelines_from_trace",
+    "Tolerance",
+    "ComparisonReport",
+    "compare_metrics",
+    "compare_runs",
+    "compare_bench",
+    "render_report",
+    "write_report",
     "Instrumentation",
     "use_instrumentation",
     "current_instrumentation",

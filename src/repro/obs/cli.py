@@ -10,13 +10,17 @@ bundle attached, then writes three artifacts into the output directory:
   git revision, wall time, event count;
 * ``metrics.json`` — the final counters/gauges/histograms snapshot;
 
-and prints the per-phase wall-clock timing table.
+and prints the per-phase wall-clock timing table.  An existing trace
+in the output directory is never silently overwritten — pass
+``--force``.  ``--gzip`` writes ``trace.jsonl.gz`` instead (the
+analysis tools read both), and ``--report`` additionally renders the
+self-contained ``report.html`` (see :mod:`repro.obs.report`).
 
 Examples::
 
-    repro-trace quickstart                      # small contended cell
+    repro-trace quickstart --report             # small contended cell
     repro-trace fig05 --scale bench --seed 1    # a registry experiment
-    repro-trace fig02 --out /tmp/fig02-trace
+    repro-trace fig02 --out /tmp/fig02-trace --gzip --force
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ def _quickstart_config():
 
 def _run_quickstart(instr: Instrumentation, seed: int) -> tuple[object, str]:
     from repro.baselines.default import DefaultScheduler
+    from repro.core.ema import EMAScheduler
     from repro.core.rtma import RTMAScheduler
     from repro.sim.runner import compare_schedulers
 
@@ -61,7 +66,11 @@ def _run_quickstart(instr: Instrumentation, seed: int) -> tuple[object, str]:
     with use_instrumentation(instr):
         results = compare_schedulers(
             cfg,
-            {"default": DefaultScheduler(), "rtma": RTMAScheduler()},
+            {
+                "default": DefaultScheduler(),
+                "rtma": RTMAScheduler(),
+                "ema": EMAScheduler(cfg.n_users, v_param=0.5, tau_s=cfg.tau_s),
+            },
         )
     table = summary_table(
         results, title=f"quickstart: {cfg.n_users} users, {cfg.n_slots} slots"
@@ -86,11 +95,38 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output directory (default: trace_<target>/)",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing trace in the output directory",
+    )
+    parser.add_argument(
+        "--gzip",
+        action="store_true",
+        help="write trace.jsonl.gz (repro-analyze/-report read both)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="also render report.html into the output directory",
+    )
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out if args.out is not None else f"trace_{args.target}")
     out_dir.mkdir(parents=True, exist_ok=True)
-    tracer = JsonlTraceWriter(out_dir / "trace.jsonl")
+    existing = [
+        p for p in (out_dir / "trace.jsonl", out_dir / "trace.jsonl.gz") if p.exists()
+    ]
+    if existing and not args.force:
+        print(
+            f"error: {existing[0]} already exists; pass --force to overwrite",
+            file=sys.stderr,
+        )
+        return 2
+    for stale in existing:
+        stale.unlink()
+    trace_name = "trace.jsonl.gz" if args.gzip else "trace.jsonl"
+    tracer = JsonlTraceWriter(out_dir / trace_name)
     instr = Instrumentation(tracer=tracer)
 
     started = time.perf_counter()
@@ -120,6 +156,11 @@ def main(argv: list[str] | None = None) -> int:
     manifest.wall_time_s = wall_time
     manifest_path = manifest.write_json(out_dir / "manifest.json")
     metrics_path = instr.metrics.write_json(out_dir / "metrics.json")
+    report_path = None
+    if args.report:
+        from repro.obs.report import write_report
+
+        report_path = write_report(out_dir, title=f"{args.target} (seed {args.seed})")
 
     print(rendering)
     print()
@@ -128,6 +169,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trace:    {tracer.path} ({tracer.n_events} events)")
     print(f"manifest: {manifest_path}")
     print(f"metrics:  {metrics_path}")
+    if report_path is not None:
+        print(f"report:   {report_path}")
     print(f"wall time: {wall_time:.1f}s", file=sys.stderr)
     return 0
 

@@ -1,0 +1,337 @@
+"""Tolerance-aware comparison of runs and benchmark timings.
+
+Two complementary gates:
+
+* **Run comparison** — diff two runs' ``metrics.json`` snapshots (or
+  any flat/nested summary dicts).  Every numeric leaf is compared
+  under an absolute + relative tolerance, and each metric carries a
+  *direction*: energy/rebuffering/time metrics regress when they go
+  **up**, fairness/completion/delivery metrics regress when they go
+  **down**, and everything else is held to bit-for-bit determinism
+  (any drift beyond tolerance is a regression — the simulator is
+  seeded, so "same config, same numbers" is an invariant, not a
+  hope).  Timing histograms (``*.seconds``) are excluded by default:
+  wall-clock noise would fail the "same run twice" identity gate.
+
+* **Bench regression** — compare a fresh ``BENCH_kernels.json``
+  against the committed ``benchmarks/baseline_kernels.json``: any
+  kernel whose p50 slowed by more than the threshold (default 25%)
+  fails.  Speedups and new kernels never fail; kernels missing from
+  the candidate are reported but only fail under ``--strict-missing``.
+
+``repro-compare A B`` exits 1 when any regression is found, 0
+otherwise — CI wires this behind ``repro-trace`` for the identity
+gate and behind the kernel bench for the performance gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Tolerance",
+    "MetricDelta",
+    "ComparisonReport",
+    "direction_for",
+    "flatten_metrics",
+    "compare_metrics",
+    "compare_runs",
+    "compare_bench",
+    "load_metrics",
+    "main",
+]
+
+#: Substrings marking metrics where *smaller* is better.
+LOWER_IS_BETTER = (
+    "energy",
+    "rebuffer",
+    "tail_mj",
+    "trans_mj",
+    "pe_",
+    "pc_",
+    "stall",
+    "truncated",
+    "near_miss",
+    ".seconds",
+    "wall_time",
+)
+#: Substrings marking metrics where *larger* is better.
+HIGHER_IS_BETTER = (
+    "fairness",
+    "completion",
+    "delivered",
+    "throughput",
+    "frac_slots_fair",
+)
+
+
+def direction_for(name: str) -> str:
+    """``"lower"`` / ``"higher"`` / ``"equal"`` (exact match expected)."""
+    lowered = name.lower()
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return "lower"
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return "higher"
+    return "equal"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """A delta is significant when it exceeds *both* gates combined:
+    ``|delta| > max(abs_tol, rel_tol * max(|a|, |b|))``."""
+
+    abs_tol: float = 1e-9
+    rel_tol: float = 1e-6
+
+    def exceeded(self, baseline: float, candidate: float) -> bool:
+        delta = abs(candidate - baseline)
+        scale = max(abs(baseline), abs(candidate))
+        return delta > max(self.abs_tol, self.rel_tol * scale)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric and its verdict."""
+
+    name: str
+    baseline: float | str | None
+    candidate: float | str | None
+    direction: str
+    #: ``ok`` | ``improved`` | ``regressed`` | ``changed`` | ``added`` | ``removed``
+    status: str
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status in ("regressed", "changed")
+
+    def __str__(self) -> str:
+        def fmt(v):
+            return f"{v:.6g}" if isinstance(v, float) else repr(v)
+
+        arrow = {"lower": "v better", "higher": "^ better", "equal": "="}[self.direction]
+        return (
+            f"{self.status:>9}  {self.name}  "
+            f"{fmt(self.baseline)} -> {fmt(self.candidate)}  [{arrow}]"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All deltas from one comparison; ``ok`` iff nothing regressed."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    #: Context lines (skipped metrics, missing benches under lenient mode).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.is_failure]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self, show_ok: bool = False) -> str:
+        shown = [d for d in self.deltas if show_ok or d.status != "ok"]
+        lines = [str(d) for d in shown]
+        lines.extend(f"     note  {n}" for n in self.notes)
+        n_ok = sum(1 for d in self.deltas if d.status == "ok")
+        lines.append(
+            f"compared {len(self.deltas)} metric(s): "
+            f"{n_ok} ok, {len(self.improvements)} improved, "
+            f"{len(self.failures)} regressed/changed"
+        )
+        return "\n".join(lines)
+
+
+def flatten_metrics(
+    obj: Any, prefix: str = "", skip_timings: bool = True
+) -> dict[str, float | str]:
+    """Flatten a metrics snapshot / summary dict to dotted numeric leaves.
+
+    Lists become indexed entries (``gauges.ema.virtual_queues[3]``);
+    booleans and ``None`` are dropped; strings are kept (they compare
+    under the ``equal`` direction).  With ``skip_timings``, any branch
+    whose dotted name contains ``.seconds`` or ``wall_time`` is
+    dropped — wall-clock measurements are not reproducible.
+    """
+    out: dict[str, float | str] = {}
+
+    def walk(node: Any, name: str) -> None:
+        if skip_timings and name and (".seconds" in name or "wall_time" in name):
+            return
+        if isinstance(node, Mapping):
+            for key in node:
+                walk(node[key], f"{name}.{key}" if name else str(key))
+        elif isinstance(node, (list, tuple)):
+            for i, item in enumerate(node):
+                walk(item, f"{name}[{i}]")
+        elif isinstance(node, bool) or node is None:
+            return
+        elif isinstance(node, (int, float)):
+            out[name] = float(node)
+        elif isinstance(node, str):
+            out[name] = node
+
+    walk(obj, prefix)
+    return out
+
+
+def compare_metrics(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    tolerance: Tolerance | None = None,
+    skip_timings: bool = True,
+) -> ComparisonReport:
+    """Direction-aware diff of two (possibly nested) metric dicts."""
+    tol = tolerance or Tolerance()
+    flat_a = flatten_metrics(baseline, skip_timings=skip_timings)
+    flat_b = flatten_metrics(candidate, skip_timings=skip_timings)
+    report = ComparisonReport()
+    for name in sorted(flat_a.keys() | flat_b.keys()):
+        a, b = flat_a.get(name), flat_b.get(name)
+        direction = direction_for(name)
+        if a is None:
+            report.deltas.append(MetricDelta(name, None, b, direction, "added"))
+            continue
+        if b is None:
+            report.deltas.append(MetricDelta(name, a, None, direction, "removed"))
+            continue
+        if isinstance(a, str) or isinstance(b, str):
+            status = "ok" if a == b else "changed"
+            report.deltas.append(MetricDelta(name, a, b, "equal", status))
+            continue
+        if not tol.exceeded(a, b):
+            status = "ok"
+        elif direction == "lower":
+            status = "regressed" if b > a else "improved"
+        elif direction == "higher":
+            status = "regressed" if b < a else "improved"
+        else:
+            status = "changed"
+        report.deltas.append(MetricDelta(name, a, b, direction, status))
+    return report
+
+
+def load_metrics(target: str | Path) -> dict[str, Any]:
+    """Load a metrics/summary JSON; a directory means its ``metrics.json``."""
+    path = Path(target)
+    if path.is_dir():
+        path = path / "metrics.json"
+    if not path.exists():
+        raise ConfigurationError(f"no metrics file at {path}")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def compare_runs(
+    baseline: str | Path,
+    candidate: str | Path,
+    tolerance: Tolerance | None = None,
+) -> ComparisonReport:
+    """Compare two run directories (or metrics JSON files) by metrics."""
+    return compare_metrics(load_metrics(baseline), load_metrics(candidate), tolerance)
+
+
+def _bench_p50s(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    out = {}
+    for name, summary in (snapshot.get("histograms") or {}).items():
+        if isinstance(summary, Mapping) and "p50" in summary:
+            out[name] = float(summary["p50"])
+    return out
+
+
+def compare_bench(
+    baseline: str | Path,
+    candidate: str | Path,
+    threshold: float = 0.25,
+    strict_missing: bool = False,
+) -> ComparisonReport:
+    """Gate a kernel-bench snapshot against the committed baseline.
+
+    A kernel regresses when ``candidate_p50 > baseline_p50 * (1 +
+    threshold)``.  New kernels are reported as ``added``; kernels
+    absent from the candidate fail only under ``strict_missing``.
+    """
+    if threshold <= 0:
+        raise ConfigurationError("bench threshold must be positive")
+    base = _bench_p50s(load_metrics(baseline))
+    cand = _bench_p50s(load_metrics(candidate))
+    report = ComparisonReport()
+    for name in sorted(base.keys() | cand.keys()):
+        a, b = base.get(name), cand.get(name)
+        if a is None:
+            report.deltas.append(MetricDelta(name, None, b, "lower", "added"))
+            continue
+        if b is None:
+            if strict_missing:
+                report.deltas.append(MetricDelta(name, a, None, "lower", "regressed"))
+            else:
+                report.notes.append(f"{name}: missing from candidate (not run?)")
+            continue
+        if b > a * (1.0 + threshold):
+            status = "regressed"
+        elif b < a / (1.0 + threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        report.deltas.append(MetricDelta(f"{name}.p50", a, b, "lower", status))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Diff two runs' metrics (or two kernel-bench snapshots) "
+        "under direction-aware tolerances; exit 1 on regression.",
+    )
+    parser.add_argument("baseline", help="run dir or metrics/bench JSON (reference)")
+    parser.add_argument("candidate", help="run dir or metrics/bench JSON (under test)")
+    parser.add_argument("--abs-tol", type=float, default=1e-9)
+    parser.add_argument("--rel-tol", type=float, default=1e-6)
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="bench-regression mode: compare per-kernel p50 timings",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="bench mode: allowed p50 slowdown fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--strict-missing", action="store_true",
+        help="bench mode: kernels missing from the candidate fail the gate",
+    )
+    parser.add_argument(
+        "--show-ok", action="store_true", help="also print unchanged metrics"
+    )
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        report = compare_bench(
+            args.baseline, args.candidate,
+            threshold=args.threshold, strict_missing=args.strict_missing,
+        )
+    else:
+        report = compare_runs(
+            args.baseline, args.candidate,
+            Tolerance(abs_tol=args.abs_tol, rel_tol=args.rel_tol),
+        )
+    print(report.render(show_ok=args.show_ok))
+    if report.ok:
+        print("PASS")
+        return 0
+    print("FAIL")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

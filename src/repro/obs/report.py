@@ -1,0 +1,307 @@
+"""Self-contained HTML run reports.
+
+``repro-report <run_dir>`` turns one traced run directory into a
+single HTML file with **zero external assets** — styling is an inline
+``<style>`` block and every chart is inline SVG generated here, so
+the file can be attached to a CI job, mailed, or archived and will
+render identically forever.  No third-party libraries are involved.
+
+Per run (a trace holds one run per scheduler) the report shows:
+
+* the headline totals table (delivered media, transmission/tail
+  energy, rebuffering, stall count);
+* sparklines of the per-slot aggregate series — mean client buffer,
+  energy, delivered KB — the shapes that make scheduler behaviour
+  legible at a glance (EMA's batching, RTMA's threshold gating);
+* the CDF of per-user total rebuffering (the paper's Fig. 3 axis);
+* the DCH / FACH / tail energy split and RRC residency bar;
+* the invariant-check results from :mod:`repro.obs.analyze`.
+
+The provenance header is read from the run's ``manifest.json`` when
+present, so a report is traceable back to config hash + git revision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.obs.analyze import (
+    InvariantReport,
+    RunTimeline,
+    check_invariants,
+    resolve_trace_path,
+    timelines_from_trace,
+)
+
+__all__ = ["svg_sparkline", "svg_cdf", "render_report", "write_report", "main"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 62em; color: #1a1a2e; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #16324f; padding-bottom: .2em; }
+h2 { font-size: 1.15em; margin-top: 1.6em; color: #16324f; }
+table { border-collapse: collapse; margin: .8em 0; font-size: .92em; }
+th, td { border: 1px solid #c8d0d8; padding: .3em .6em; text-align: right; }
+th { background: #eef2f6; text-align: center; }
+td.label { text-align: left; font-weight: 600; }
+.ok { color: #176e2c; font-weight: 600; }
+.bad { color: #a61b1b; font-weight: 600; }
+.skip { color: #6a737d; }
+.charts { display: flex; flex-wrap: wrap; gap: 1.2em; }
+figure { margin: 0; }
+figcaption { font-size: .8em; color: #444; text-align: center; }
+.meta { color: #555; font-size: .85em; }
+code { background: #f2f4f6; padding: 0 .25em; }
+ul.violations li { font-family: ui-monospace, monospace; font-size: .85em; }
+"""
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: float, flip: bool) -> np.ndarray:
+    span = hi - lo
+    unit = (values - lo) / span if span > 0 else np.full_like(values, 0.5, dtype=float)
+    return (1.0 - unit) * size if flip else unit * size
+
+
+def svg_sparkline(
+    values: Sequence[float],
+    width: int = 300,
+    height: int = 64,
+    color: str = "#16324f",
+    caption: str | None = None,
+) -> str:
+    """A minimal inline-SVG line chart of one series (index on x)."""
+    ys = np.asarray(list(values), dtype=float)
+    ys = ys[np.isfinite(ys)]
+    if ys.size < 2:
+        return "<figure><em>no data</em></figure>"
+    pad = 4.0
+    xs = _scale(np.arange(ys.size, dtype=float), 0, ys.size - 1, width - 2 * pad, False)
+    lo, hi = float(ys.min()), float(ys.max())
+    yy = _scale(ys, lo, hi, height - 2 * pad, True)
+    points = " ".join(f"{x + pad:.1f},{y + pad:.1f}" for x, y in zip(xs, yy))
+    label = (
+        f"<figcaption>{html.escape(caption)} "
+        f"<span class='meta'>(min {lo:.3g}, max {hi:.3g})</span></figcaption>"
+        if caption
+        else ""
+    )
+    return (
+        f"<figure><svg width='{width}' height='{height}' viewBox='0 0 {width} {height}' "
+        f"role='img'><rect width='100%' height='100%' fill='#fafbfc'/>"
+        f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+        f"points='{points}'/></svg>{label}</figure>"
+    )
+
+
+def svg_cdf(
+    values: Sequence[float],
+    width: int = 300,
+    height: int = 64,
+    color: str = "#8c2d19",
+    caption: str | None = None,
+) -> str:
+    """Inline-SVG empirical CDF (step plot) of a sample set."""
+    xs = np.sort(np.asarray(list(values), dtype=float))
+    xs = xs[np.isfinite(xs)]
+    if xs.size == 0:
+        return "<figure><em>no data</em></figure>"
+    probs = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    pad = 4.0
+    px = _scale(xs, float(xs.min()), float(xs.max()), width - 2 * pad, False)
+    py = _scale(probs, 0.0, 1.0, height - 2 * pad, True)
+    # Step plot: horizontal then vertical segments.
+    points = [f"{pad:.1f},{py[0] + pad:.1f}"]
+    for i in range(xs.size):
+        points.append(f"{px[i] + pad:.1f},{py[i] + pad:.1f}")
+        if i + 1 < xs.size:
+            points.append(f"{px[i + 1] + pad:.1f},{py[i] + pad:.1f}")
+    label = (
+        f"<figcaption>{html.escape(caption)} "
+        f"<span class='meta'>(n={xs.size}, max {float(xs.max()):.3g})</span></figcaption>"
+        if caption
+        else ""
+    )
+    return (
+        f"<figure><svg width='{width}' height='{height}' viewBox='0 0 {width} {height}' "
+        f"role='img'><rect width='100%' height='100%' fill='#fafbfc'/>"
+        f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+        f"points='{' '.join(points)}'/></svg>{label}</figure>"
+    )
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return html.escape(str(value))
+
+
+def _summary_table(timelines: list[RunTimeline]) -> str:
+    rows = [tl.summary() for tl in timelines]
+    keys: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys and not key.startswith("end_"):
+                keys.append(key)
+    head = "".join(f"<th>{html.escape(k)}</th>" for k in keys)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_fmt(row.get(k, ''))}</td>" for k in keys) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _invariant_section(report: InvariantReport) -> str:
+    if report.ok:
+        status = (
+            f"<p class='ok'>OK — {len(report.checked)} invariant(s) checked, "
+            f"0 violations.</p>"
+        )
+    else:
+        status = f"<p class='bad'>{len(report.violations)} violation(s) found.</p>"
+    parts = [status]
+    if report.skipped:
+        skipped = ", ".join(
+            f"<code>{html.escape(name)}</code> ({html.escape(reason)})"
+            for name, reason in sorted(report.skipped.items())
+        )
+        parts.append(f"<p class='skip'>Skipped: {skipped}</p>")
+    if report.violations:
+        items = "".join(
+            f"<li>{html.escape(str(v))}</li>" for v in report.violations[:50]
+        )
+        more = (
+            f"<li>... and {len(report.violations) - 50} more</li>"
+            if len(report.violations) > 50
+            else ""
+        )
+        parts.append(f"<ul class='violations'>{items}{more}</ul>")
+    return "".join(parts)
+
+
+def _run_section(tl: RunTimeline, report: InvariantReport) -> str:
+    name = html.escape(tl.scheduler or "unknown")
+    parts = [f"<h2>Run: <code>{name}</code> — {tl.n_users} users × {tl.n_slots} slots</h2>"]
+
+    charts = []
+    mean_buffer = tl.totals.get("mean_buffer_s")
+    if mean_buffer is None and "buffer_s" in tl.grids:
+        mean_buffer = tl.grids["buffer_s"].mean(axis=1)
+    if mean_buffer is not None:
+        charts.append(svg_sparkline(mean_buffer, caption="mean client buffer (s)"))
+    energy = None
+    if "energy_trans_mj" in tl.totals:
+        energy = tl.totals["energy_trans_mj"] + tl.totals.get("energy_tail_mj", 0.0)
+    elif tl.energy_mj is not None:
+        energy = tl.energy_mj.sum(axis=1)
+    if energy is not None:
+        charts.append(svg_sparkline(energy, color="#1b6e4f", caption="energy per slot (mJ)"))
+    delivered = tl.totals.get("delivered_kb")
+    if delivered is not None:
+        charts.append(svg_sparkline(delivered, color="#6b3fa0", caption="delivered per slot (KB)"))
+    if "rebuffering_s" in tl.grids:
+        per_user = tl.grids["rebuffering_s"].sum(axis=0)
+        charts.append(svg_cdf(per_user, caption="CDF of per-user total rebuffering (s)"))
+    if charts:
+        parts.append(f"<div class='charts'>{''.join(charts)}</div>")
+
+    split = tl.energy_split_mj()
+    residency = tl.rrc_residency()
+    if split:
+        parts.append(
+            "<p class='meta'>Energy split: "
+            f"transmission {split['trans_mj']:,.1f} mJ · "
+            f"DCH tail {split['tail_dch_mj']:,.1f} mJ · "
+            f"FACH tail {split['tail_fach_mj']:,.1f} mJ</p>"
+        )
+    if residency is not None:
+        totals = {k: int(v.sum()) for k, v in residency.items()}
+        parts.append(
+            "<p class='meta'>RRC residency (user-slots): "
+            f"DCH {totals['dch']} · FACH {totals['fach']} · IDLE {totals['idle']}</p>"
+        )
+    stalls = tl.rebuffer_events()
+    if stalls:
+        worst = stalls[0]
+        parts.append(
+            f"<p class='meta'>{len(stalls)} stall(s); worst: user {worst.user}, "
+            f"slots {worst.start_slot}–{worst.end_slot} ({worst.total_s:.2f} s)</p>"
+        )
+    parts.append(_invariant_section(report))
+    return "".join(parts)
+
+
+def _provenance(run_dir: Path) -> str:
+    manifest_path = run_dir / "manifest.json"
+    if not manifest_path.exists():
+        return ""
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return ""
+    fields = []
+    for key in ("config_hash", "git_revision", "package_version", "created_at", "seed"):
+        value = manifest.get(key)
+        if value is None and isinstance(manifest.get("extra"), dict):
+            value = manifest["extra"].get(key)
+        if value is not None:
+            fields.append(f"{html.escape(key)}=<code>{html.escape(str(value))}</code>")
+    return f"<p class='meta'>{' · '.join(fields)}</p>" if fields else ""
+
+
+def render_report(target: str | Path, title: str | None = None) -> str:
+    """Render one run directory (or trace file) to an HTML string."""
+    trace_path = resolve_trace_path(target)
+    run_dir = trace_path.parent
+    timelines = timelines_from_trace(trace_path)
+    sections = [
+        _run_section(tl, check_invariants(tl)) for tl in timelines
+    ]
+    page_title = html.escape(title or f"Run report: {run_dir.name}")
+    body = (
+        f"<h1>{page_title}</h1>"
+        + _provenance(run_dir)
+        + (f"<h2>Summary</h2>{_summary_table(timelines)}" if timelines else
+           "<p class='bad'>No runs found in trace.</p>")
+        + "".join(sections)
+    )
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{page_title}</title><style>{_CSS}</style></head>"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def write_report(
+    target: str | Path, out: str | Path | None = None, title: str | None = None
+) -> Path:
+    """Write the HTML report; default location is ``<run_dir>/report.html``."""
+    trace_path = resolve_trace_path(target)
+    out_path = Path(out) if out is not None else trace_path.parent / "report.html"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(render_report(target, title=title), encoding="utf-8")
+    return out_path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Render a traced run directory to a single self-contained "
+        "HTML report (inline SVG, no external assets).",
+    )
+    parser.add_argument("target", help="run directory or trace.jsonl[.gz] path")
+    parser.add_argument("--out", default=None, help="output path (default: <run_dir>/report.html)")
+    parser.add_argument("--title", default=None, help="report title")
+    args = parser.parse_args(argv)
+    path = write_report(args.target, out=args.out, title=args.title)
+    print(f"report: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

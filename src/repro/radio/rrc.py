@@ -34,6 +34,8 @@ __all__ = [
     "RRCStateMachine",
     "RRCFleet",
     "fleet_occupancy_from_tx",
+    "fleet_state_grid_from_tx",
+    "tail_split_from_tx",
 ]
 
 
@@ -279,3 +281,74 @@ def fleet_occupancy_from_tx(
     n_dch = int(np.count_nonzero(dch))
     n_fach = int(np.count_nonzero(fach))
     return {"dch": n_dch, "fach": n_fach, "idle": int(tx.size) - n_dch - n_fach}
+
+
+def fleet_state_grid_from_tx(
+    tx: np.ndarray, dt_s: float, params: RRCParams | None = None
+) -> np.ndarray:
+    """Per-(slot, user) RRC state codes reconstructed from a tx history.
+
+    ``tx`` is the ``(n_slots, n_users)`` boolean transmission history of
+    a freshly-created :class:`RRCFleet` stepped once per row.  Returns
+    an ``int8`` grid with ``0 = DCH``, ``1 = FACH``, ``2 = IDLE`` —
+    the state *after* each slot's step, matching
+    :meth:`RRCFleet.state_counts` taken after every step.  Summing the
+    grid's state counts reproduces :func:`fleet_occupancy_from_tx`
+    (tested), but the grid keeps the per-user residency that trace
+    analysis and run reports need.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt_s must be positive")
+    params = params if params is not None else RRCParams()
+    tx = np.asarray(tx, dtype=bool)
+    if tx.ndim != 2:
+        raise ConfigurationError("tx history must be 2-D (n_slots, n_users)")
+    if tx.size == 0:
+        return np.zeros(tx.shape, dtype=np.int8)
+    n_slots = tx.shape[0]
+    slots = np.arange(n_slots)[:, None]
+    last = np.maximum.accumulate(np.where(tx, slots, -1), axis=0)
+    ever = last >= 0
+    age_s = (slots - last) * dt_s
+    dch = ever & ((age_s <= 0.0) | (age_s < params.t1_s))
+    fach = ever & ~dch & (age_s < params.t1_s + params.t2_s)
+    grid = np.full(tx.shape, 2, dtype=np.int8)
+    grid[fach] = 1
+    grid[dch] = 0
+    return grid
+
+
+def tail_split_from_tx(
+    tx: np.ndarray, dt_s: float, params: RRCParams | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split per-slot tail energy into its DCH and FACH components.
+
+    Returns ``(dch_mj, fach_mj)`` grids of shape ``(n_slots, n_users)``
+    whose sum equals the engine's recorded incremental tail energy
+    exactly (tested): a non-transmitting slot at idle age ``a`` accrues
+    ``Pd * |[a, a+dt] ∩ [0, T1]| + Pf * |[a, a+dt] ∩ [T1, T1+T2]|``,
+    which is the increment of the Eq. (4) closed form.  Transmitting
+    slots and never-promoted devices accrue nothing in either bucket.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt_s must be positive")
+    params = params if params is not None else RRCParams()
+    tx = np.asarray(tx, dtype=bool)
+    if tx.ndim != 2:
+        raise ConfigurationError("tx history must be 2-D (n_slots, n_users)")
+    zeros = np.zeros(tx.shape, dtype=float)
+    if tx.size == 0:
+        return zeros, zeros.copy()
+    n_slots = tx.shape[0]
+    slots = np.arange(n_slots)[:, None]
+    last = np.maximum.accumulate(np.where(tx, slots, -1), axis=0)
+    accruing = ~tx & (last >= 0)
+    # Idle age spanned during slot s: [a0, a1] with a1 = (s - last) * dt
+    # (the fleet resets the age to 0 on a transmitting slot, so the
+    # first idle slot after a transmission spans [0, dt]).
+    a1 = (slots - last) * dt_s
+    a0 = a1 - dt_s
+    t1, t2 = params.t1_s, params.t2_s
+    dch = params.pd_mw * (np.minimum(a1, t1) - np.minimum(a0, t1))
+    fach = params.pf_mw * (np.clip(a1 - t1, 0.0, t2) - np.clip(a0 - t1, 0.0, t2))
+    return np.where(accruing, dch, 0.0), np.where(accruing, fach, 0.0)

@@ -50,6 +50,27 @@ from repro.sim.workload import Workload, generate_workload
 
 __all__ = ["Simulation"]
 
+#: Scheduler attributes worth pinning in the trace's ``run.start``
+#: event — the invariant checkers key off these (RTMA's Eq. 10/12
+#: budget and threshold, EMA's Lyapunov V and queue floor).
+_TRACED_SCHEDULER_PARAMS = (
+    "sig_threshold_dbm",
+    "energy_budget_mj_per_slot",
+    "v_param",
+    "queue_floor_s",
+)
+
+
+def _scheduler_trace_params(scheduler) -> dict:
+    """The scheduler's traced parameters (missing attributes skipped)."""
+    out = {}
+    for attr in _TRACED_SCHEDULER_PARAMS:
+        if hasattr(scheduler, attr):
+            value = getattr(scheduler, attr)
+            if value is None or isinstance(value, (int, float)):
+                out[attr] = value
+    return out
+
 
 class Simulation:
     """One scheduler, one workload, one run.
@@ -153,6 +174,29 @@ class Simulation:
         signal = self.workload.signal_dbm
         arrivals = np.array([f.arrival_slot for f in flows], dtype=np.int64)
 
+        scheduler_name = getattr(
+            self.scheduler, "name", type(self.scheduler).__name__
+        )
+        if instrumented and trace_on:
+            # Run boundary + the parameters trace analysis needs to
+            # segment multi-run traces and select invariant checkers.
+            tracer.emit(
+                "run.start",
+                scheduler=scheduler_name,
+                n_users=n,
+                n_slots=gamma,
+                tau_s=cfg.tau_s,
+                delta_kb=cfg.delta_kb,
+                seed=cfg.seed,
+                rrc={
+                    "pd_mw": radio.rrc.pd_mw,
+                    "pf_mw": radio.rrc.pf_mw,
+                    "t1_s": radio.rrc.t1_s,
+                    "t2_s": radio.rrc.t2_s,
+                },
+                params=_scheduler_trace_params(self.scheduler),
+            )
+
         for slot in range(gamma):
             # 1. Playback: Eq. (7)/(8) with last slot's deliveries.
             #    Sessions that have not arrived yet do not play (and do
@@ -223,10 +267,38 @@ class Simulation:
                     energy_trans_mj=float(e_trans[slot].sum()),
                     energy_tail_mj=float(e_tail[slot].sum()),
                     mean_buffer_s=float(obs.buffer_s.mean()),
+                    # Per-user vectors: what repro.obs.analyze needs to
+                    # reconstruct timelines and run the invariant
+                    # checkers offline.  Only built when a real tracer
+                    # is attached, so the NullTracer overhead budget is
+                    # untouched.
+                    users={
+                        "phi": phi,
+                        "delivered_kb": sent_kb,
+                        "rebuffering_s": rebuf[slot],
+                        "buffer_s": obs.buffer_s,
+                        "energy_trans_mj": e_trans[slot],
+                        "energy_tail_mj": e_tail[slot],
+                        "link_units": obs.link_units,
+                        "sig_dbm": signal[slot],
+                        "rate_kbps": obs.rate_kbps,
+                        "active": obs.active,
+                    },
                 )
 
         if not np.all(np.isfinite(e_trans)):
             raise SimulationError("non-finite transmission energy recorded")
+
+        if instrumented and trace_on:
+            tracer.emit(
+                "run.end",
+                scheduler=scheduler_name,
+                n_slots=gamma,
+                delivered_total_kb=float(delivered.sum()),
+                energy_total_mj=float(e_trans.sum() + e_tail.sum()),
+                rebuffering_total_s=float(rebuf.sum()),
+                completed_users=int((completion >= 0).sum()),
+            )
 
         if instrumented:
             # Batch registry accounting: identical totals to per-slot
@@ -251,7 +323,7 @@ class Simulation:
             )
             metrics.counter("allocation.truncated_kb").inc(truncated)
         return SimulationResult(
-            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            scheduler_name=scheduler_name,
             config=cfg,
             allocation_units=alloc,
             delivered_kb=delivered,

@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability tests.
+
+The traced quickstart run is expensive enough (three schedulers x 300
+slots) that the analyze/compare/report tests share one session-scoped
+run directory instead of re-tracing per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def traced_quickstart_dir(tmp_path_factory):
+    """One quickstart run directory: trace.jsonl + manifest + metrics."""
+    from repro.obs.cli import main
+
+    out = tmp_path_factory.mktemp("quickstart_run") / "run"
+    assert main(["quickstart", "--out", str(out)]) == 0
+    return out

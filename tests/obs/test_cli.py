@@ -1,5 +1,6 @@
-"""End-to-end test of the ``repro-trace`` CLI (quickstart target)."""
+"""End-to-end tests of the ``repro-trace`` CLI (quickstart target)."""
 
+import gzip
 import json
 
 from repro.obs.cli import main
@@ -18,8 +19,15 @@ class TestReproTrace:
 
         events = [json.loads(line) for line in trace.read_text().splitlines()]
         slot_events = [e for e in events if e["kind"] == "slot"]
-        # >= 1 event per simulated slot: two schedulers x 300 slots.
-        assert len(slot_events) >= 600
+        # >= 1 event per simulated slot: three schedulers x 300 slots.
+        assert len(slot_events) >= 900
+        # Run boundaries frame each scheduler's run.
+        starts = [e for e in events if e["kind"] == "run.start"]
+        ends = [e for e in events if e["kind"] == "run.end"]
+        assert [e["scheduler"] for e in starts] == ["default", "rtma", "ema"]
+        assert len(ends) == 3
+        # Per-user payloads ride on every slot event.
+        assert all(len(e["users"]["phi"]) == 8 for e in slot_events)
 
         manifest = json.loads(manifest_path.read_text())
         assert len(manifest["config_hash"]) == 64
@@ -29,11 +37,46 @@ class TestReproTrace:
         assert manifest["extra"]["n_trace_events"] == len(events)
 
         metrics = json.loads(metrics_path.read_text())
-        assert metrics["counters"]["engine.slots"] == 600
-        assert metrics["counters"]["scheduler.invocations"] == 600
+        assert metrics["counters"]["engine.slots"] == 900
+        assert metrics["counters"]["scheduler.invocations"] == 900
 
         printed = capsys.readouterr().out
         # Phase table covers the full pipeline.
         for phase in ("playback", "observe", "schedule", "transmit", "rrc", "feedback"):
             assert phase in printed
         assert "scheduler" in printed  # summary table header
+
+    def test_refuses_to_overwrite_without_force(self, tmp_path, capsys):
+        out = tmp_path / "trace_out"
+        assert main(["quickstart", "--out", str(out)]) == 0
+        first = (out / "trace.jsonl").read_bytes()
+
+        assert main(["quickstart", "--out", str(out)]) == 2
+        assert (out / "trace.jsonl").read_bytes() == first
+        assert "--force" in capsys.readouterr().err
+
+        assert main(["quickstart", "--out", str(out), "--force", "--seed", "1"]) == 0
+        assert (out / "trace.jsonl").read_bytes() != first
+
+    def test_gzip_output_and_force_swaps_format(self, tmp_path):
+        out = tmp_path / "trace_out"
+        assert main(["quickstart", "--out", str(out), "--gzip"]) == 0
+        gz = out / "trace.jsonl.gz"
+        assert gz.exists() and not (out / "trace.jsonl").exists()
+        with gzip.open(gz, "rt", encoding="utf-8") as f:
+            first = json.loads(f.readline())
+        assert first["kind"] == "run.start"
+
+        # The guard also covers format changes: switching to plain
+        # output must not leave the stale .gz behind.
+        assert main(["quickstart", "--out", str(out)]) == 2
+        assert main(["quickstart", "--out", str(out), "--force"]) == 0
+        assert (out / "trace.jsonl").exists() and not gz.exists()
+
+    def test_report_flag_writes_selfcontained_html(self, tmp_path):
+        out = tmp_path / "trace_out"
+        assert main(["quickstart", "--out", str(out), "--report"]) == 0
+        html = (out / "report.html").read_text()
+        assert "<svg" in html
+        for marker in ("http://", "https://", "<script", "src="):
+            assert marker not in html

@@ -1,0 +1,191 @@
+"""Tests for tolerance-aware run comparison and the bench gate."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.compare import (
+    Tolerance,
+    compare_bench,
+    compare_metrics,
+    compare_runs,
+    direction_for,
+    flatten_metrics,
+    main,
+)
+
+
+def _bench_snapshot(**p50s) -> dict:
+    return {
+        "histograms": {
+            name: {"count": 5, "p50": p50, "mean": p50} for name, p50 in p50s.items()
+        }
+    }
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("counters.energy.trans_mj", "lower"),
+            ("counters.rrc.tail_mj", "lower"),
+            ("pe_mj", "lower"),
+            ("pc_s", "lower"),
+            ("total_rebuffering_s", "lower"),
+            ("mean_fairness", "higher"),
+            ("completion_rate", "higher"),
+            ("delivered_total_kb", "higher"),
+            ("counters.engine.slots", "equal"),
+        ],
+    )
+    def test_direction_for(self, name, expected):
+        assert direction_for(name) == expected
+
+
+class TestFlatten:
+    def test_nested_and_indexed(self):
+        flat = flatten_metrics(
+            {
+                "counters": {"a.b": 1},
+                "gauges": {"vec": [1.0, 2.0], "none": None, "flag": True},
+                "histograms": {"x": {"count": 2, "p50": 0.5}},
+            }
+        )
+        assert flat["counters.a.b"] == 1.0
+        assert flat["gauges.vec[0]"] == 1.0 and flat["gauges.vec[1]"] == 2.0
+        assert "gauges.none" not in flat and "gauges.flag" not in flat
+
+    def test_timings_skipped_by_default(self):
+        snapshot = {
+            "histograms": {
+                "phase.schedule.seconds": {"p50": 0.1},
+                "calibration.ema.pc_s": {"p50": 0.4},
+            },
+            "wall_time_s": 3.2,
+        }
+        flat = flatten_metrics(snapshot)
+        assert not any("seconds" in k or "wall_time" in k for k in flat)
+        assert "histograms.calibration.ema.pc_s.p50" in flat
+        kept = flatten_metrics(snapshot, skip_timings=False)
+        assert "histograms.phase.schedule.seconds.p50" in kept
+
+
+class TestCompareMetrics:
+    BASE = {
+        "counters": {"engine.slots": 600, "energy.trans_mj": 1000.0},
+        "gauges": {"mean_fairness": 0.8},
+    }
+
+    def test_identical_ok(self):
+        report = compare_metrics(self.BASE, json.loads(json.dumps(self.BASE)))
+        assert report.ok and len(report.deltas) == 3
+
+    def test_energy_increase_regresses(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["counters"]["energy.trans_mj"] = 1010.0
+        report = compare_metrics(self.BASE, cand)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.name == "counters.energy.trans_mj"
+        assert failure.status == "regressed"
+
+    def test_energy_decrease_improves(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["counters"]["energy.trans_mj"] = 990.0
+        report = compare_metrics(self.BASE, cand)
+        assert report.ok and len(report.improvements) == 1
+
+    def test_fairness_drop_regresses(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["gauges"]["mean_fairness"] = 0.5
+        report = compare_metrics(self.BASE, cand)
+        assert [d.name for d in report.failures] == ["gauges.mean_fairness"]
+
+    def test_neutral_drift_is_changed(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["counters"]["engine.slots"] = 601
+        report = compare_metrics(self.BASE, cand)
+        assert report.failures[0].status == "changed"
+
+    def test_within_tolerance_passes(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["counters"]["energy.trans_mj"] = 1000.0 * (1 + 1e-8)
+        assert compare_metrics(self.BASE, cand).ok
+        loose = Tolerance(rel_tol=0.05)
+        cand["counters"]["energy.trans_mj"] = 1040.0
+        assert compare_metrics(self.BASE, cand, loose).ok
+
+    def test_added_and_removed_reported_not_failed(self):
+        cand = {"counters": {"engine.slots": 600, "new.counter": 1}}
+        report = compare_metrics(self.BASE, cand)
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses["counters.new.counter"] == "added"
+        assert statuses["counters.energy.trans_mj"] == "removed"
+        assert statuses["gauges.mean_fairness"] == "removed"
+        assert report.ok
+
+
+class TestCompareBench:
+    def test_slowdown_over_threshold_fails(self, tmp_path):
+        (tmp_path / "base.json").write_text(json.dumps(_bench_snapshot(k=0.010)))
+        (tmp_path / "cand.json").write_text(json.dumps(_bench_snapshot(k=0.013)))
+        report = compare_bench(tmp_path / "base.json", tmp_path / "cand.json")
+        assert not report.ok
+
+    def test_slowdown_under_threshold_passes(self, tmp_path):
+        (tmp_path / "base.json").write_text(json.dumps(_bench_snapshot(k=0.010)))
+        (tmp_path / "cand.json").write_text(json.dumps(_bench_snapshot(k=0.012)))
+        assert compare_bench(tmp_path / "base.json", tmp_path / "cand.json").ok
+
+    def test_missing_kernel_lenient_vs_strict(self, tmp_path):
+        (tmp_path / "base.json").write_text(
+            json.dumps(_bench_snapshot(k=0.010, gone=0.5))
+        )
+        (tmp_path / "cand.json").write_text(json.dumps(_bench_snapshot(k=0.010)))
+        lenient = compare_bench(tmp_path / "base.json", tmp_path / "cand.json")
+        assert lenient.ok and lenient.notes
+        strict = compare_bench(
+            tmp_path / "base.json", tmp_path / "cand.json", strict_missing=True
+        )
+        assert not strict.ok
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        (tmp_path / "base.json").write_text(json.dumps(_bench_snapshot(k=1.0)))
+        with pytest.raises(ConfigurationError):
+            compare_bench(tmp_path / "base.json", tmp_path / "base.json", threshold=0)
+
+
+class TestCompareCli:
+    def test_identical_quickstart_runs_pass(self, traced_quickstart_dir, tmp_path, capsys):
+        clone = tmp_path / "clone"
+        clone.mkdir()
+        shutil.copy(traced_quickstart_dir / "metrics.json", clone / "metrics.json")
+        assert main([str(traced_quickstart_dir), str(clone)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_energy_regression_fails(self, traced_quickstart_dir, tmp_path, capsys):
+        worse = tmp_path / "worse"
+        worse.mkdir()
+        metrics = json.loads((traced_quickstart_dir / "metrics.json").read_text())
+        metrics["counters"]["energy.trans_mj"] *= 1.05
+        (worse / "metrics.json").write_text(json.dumps(metrics))
+        assert main([str(traced_quickstart_dir), str(worse)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "energy.trans_mj" in out
+
+    def test_missing_metrics_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no metrics"):
+            compare_runs(tmp_path, tmp_path)
+
+    def test_bench_mode_roundtrip(self, tmp_path, capsys):
+        base = tmp_path / "b.json"
+        base.write_text(json.dumps(_bench_snapshot(k1=0.01, k2=0.02)))
+        cand = tmp_path / "c.json"
+        cand.write_text(json.dumps(_bench_snapshot(k1=0.02, k2=0.02)))
+        assert main(["--bench", str(base), str(base)]) == 0
+        assert main(["--bench", str(base), str(cand)]) == 1
+        assert main(["--bench", "--threshold", "1.5", str(base), str(cand)]) == 0

@@ -1,0 +1,100 @@
+"""Tests for the self-contained HTML run report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.report import main, render_report, svg_cdf, svg_sparkline, write_report
+
+
+class TestSvgPrimitives:
+    def test_sparkline_has_one_polyline(self):
+        svg = svg_sparkline([1.0, 2.0, 0.5, 3.0], caption="buffer (s)")
+        assert svg.count("<polyline") == 1
+        assert "buffer (s)" in svg
+
+    def test_sparkline_skips_nonfinite(self):
+        svg = svg_sparkline([1.0, float("nan"), 2.0, float("inf"), 3.0])
+        assert "nan" not in svg.lower().replace("fill='none'", "")
+        assert "<polyline" in svg
+
+    def test_degenerate_series(self):
+        assert "no data" in svg_sparkline([1.0])
+        assert "no data" in svg_cdf([])
+        # A constant series must not divide by zero.
+        assert "<polyline" in svg_sparkline([2.0, 2.0, 2.0])
+
+    def test_cdf_monotone_x(self):
+        svg = svg_cdf([3.0, 1.0, 2.0])
+        xs = [float(p.split(",")[0]) for p in svg.split("points='")[1].split("'")[0].split()]
+        assert xs == sorted(xs)
+
+    def test_caption_escaped(self):
+        assert "<b>" not in svg_sparkline([1.0, 2.0], caption="<b>bold</b>")
+
+
+class TestRenderReport:
+    @pytest.fixture(scope="class")
+    def html(self, traced_quickstart_dir):
+        return render_report(traced_quickstart_dir)
+
+    def test_self_contained(self, html):
+        for marker in ("http://", "https://", "<script", "src=", "@import"):
+            assert marker not in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_one_section_per_run(self, html):
+        for scheduler in ("default", "rtma", "ema"):
+            assert f"<code>{scheduler}</code>" in html
+
+    def test_charts_and_tables_present(self, html):
+        assert html.count("<svg") >= 12  # 4 charts x 3 runs
+        assert "CDF of per-user total rebuffering" in html
+        assert "<table>" in html
+        assert "Energy split" in html
+        assert "RRC residency" in html
+
+    def test_invariants_reported_clean(self, html):
+        assert html.count("0 violations") == 3
+        assert "violation(s) found" not in html
+
+    def test_provenance_from_manifest(self, html):
+        assert "config_hash" in html
+
+    def test_violations_rendered(self, traced_quickstart_dir, monkeypatch):
+        from repro.obs import analyze
+
+        def corrupt(path):
+            timelines = timelines_orig(path)
+            for tl in timelines:
+                tl.grids["buffer_s"][5, 0] = -1.0
+            return timelines
+
+        timelines_orig = analyze.timelines_from_trace
+        monkeypatch.setattr("repro.obs.report.timelines_from_trace", corrupt)
+        html = render_report(traced_quickstart_dir)
+        assert "violation(s) found" in html
+        assert "negative buffer occupancy" in html
+
+
+class TestWriteReport:
+    def test_default_output_next_to_trace(self, traced_quickstart_dir):
+        path = write_report(traced_quickstart_dir)
+        assert path == traced_quickstart_dir / "report.html"
+        assert path.stat().st_size > 1000
+
+    def test_cli(self, traced_quickstart_dir, tmp_path, capsys):
+        out = tmp_path / "r.html"
+        assert main([str(traced_quickstart_dir), "--out", str(out), "--title", "T"]) == 0
+        assert "<title>T</title>" in out.read_text()
+        assert str(out) in capsys.readouterr().out
+
+    def test_missing_run_dir_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_report(tmp_path)
+
+    def test_empty_trace_renders_gracefully(self, tmp_path):
+        (tmp_path / "trace.jsonl").write_text("")
+        html = render_report(tmp_path)
+        assert "No runs found" in html
