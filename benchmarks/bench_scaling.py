@@ -1,0 +1,109 @@
+"""Engine scaling benchmarks: slots/sec as the cell grows.
+
+The paper evaluates 40 users; related work (Bethanabhotla et al.,
+Abou-zeid et al.) evaluates hundreds.  These benches time full
+``Simulation.run()`` calls for RTMA and EMA at n_users in
+{10, 50, 200, 1000}, holding the paper's *per-user* load constant
+(512 KB/s of serving capacity per user, 250-500 MB sessions that
+outlast the horizon, 60 s client buffers, VBR rates) so every slot
+carries a full-cell scheduling problem.
+
+Round timings land in ``BENCH_scaling.json`` (next to this file, or at
+``$BENCH_SCALING_JSON``) as ``bench.scaling.<sched>.u<n>.seconds``
+histograms plus ``scaling.<sched>.u<n>.slots_per_sec`` gauges.  The
+committed ``baseline_scaling.json`` was captured on the pre-fleet
+per-object engine path (``REPRO_SIM_PATH=object``); gate a fresh run
+against it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scaling.py \\
+        --check-scaling benchmarks/baseline_scaling.json
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.ema import EMAScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.workload import generate_workload
+
+#: Shared registry all scaling benches report into (one file per session).
+SCALING_REGISTRY = MetricsRegistry()
+
+#: The paper's per-user serving capacity: 20 MB/s across 40 users.
+PER_USER_CAPACITY_KBPS = 512.0
+
+N_USERS = (10, 50, 200, 1000)
+#: Horizon per size, chosen so each round stays in benchmark territory.
+N_SLOTS = {10: 400, 50: 300, 200: 150, 1000: 40}
+ROUNDS = {10: 4, 50: 4, 200: 3, 1000: 2}
+
+_WORKLOADS: dict[int, object] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_scaling_timings():
+    """Dump the registry to BENCH_scaling.json once the session ends."""
+    yield
+    if not len(SCALING_REGISTRY):
+        return
+    default = Path(__file__).resolve().parent / "BENCH_scaling.json"
+    path = Path(os.environ.get("BENCH_SCALING_JSON", default))
+    SCALING_REGISTRY.write_json(path)
+
+
+def scaling_config(n_users: int) -> SimConfig:
+    return SimConfig(
+        n_users=n_users,
+        n_slots=N_SLOTS[n_users],
+        capacity_kbps=PER_USER_CAPACITY_KBPS * n_users,
+        buffer_capacity_s=60.0,
+        vbr_segments=30,
+        seed=7,
+    )
+
+
+def _workload(cfg: SimConfig):
+    wl = _WORKLOADS.get(cfg.n_users)
+    if wl is None:
+        wl = _WORKLOADS[cfg.n_users] = generate_workload(cfg)
+    return wl
+
+
+def _record(benchmark, sched_name: str, n_users: int) -> None:
+    data = list(benchmark.stats.stats.data)
+    hist = SCALING_REGISTRY.histogram(
+        f"bench.scaling.{sched_name}.u{n_users:04d}.seconds"
+    )
+    for sample in data:
+        hist.observe(sample)
+    SCALING_REGISTRY.gauge(
+        f"scaling.{sched_name}.u{n_users:04d}.slots_per_sec"
+    ).set(N_SLOTS[n_users] / float(np.median(data)))
+
+
+def _make_scheduler(sched_name: str, cfg: SimConfig):
+    if sched_name == "rtma":
+        return RTMAScheduler(sig_threshold_dbm=-95.0)
+    return EMAScheduler(cfg.n_users, v_param=0.05, tau_s=cfg.tau_s)
+
+
+@pytest.mark.parametrize("n_users", N_USERS)
+@pytest.mark.parametrize("sched_name", ["rtma", "ema"])
+def test_engine_scaling(benchmark, sched_name, n_users):
+    cfg = scaling_config(n_users)
+    wl = _workload(cfg)
+
+    def run():
+        return Simulation(cfg, _make_scheduler(sched_name, cfg), wl).run()
+
+    res = benchmark.pedantic(
+        run, rounds=ROUNDS[n_users], iterations=1, warmup_rounds=1
+    )
+    assert res.delivered_kb.sum() > 0
+    _record(benchmark, sched_name, n_users)

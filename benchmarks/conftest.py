@@ -33,28 +33,55 @@ def pytest_addoption(parser):
         help="gate the session's BENCH_kernels.json against this baseline "
         "(fail on any kernel p50 slowdown > 25%)",
     )
+    parser.addoption(
+        "--check-scaling",
+        action="store",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="gate the session's BENCH_scaling.json against this baseline "
+        "(fail on any scaling-point p50 slowdown > 50%; the committed "
+        "baseline is the pre-fleet object path, so small-n points are "
+        "allowed a bounded constant vectorisation overhead while any "
+        "real fleet regression shows up at n >= 200, where the fleet "
+        "path is several times faster)",
+    )
 
 
-def pytest_sessionfinish(session, exitstatus):
-    baseline = session.config.getoption("--check")
-    if baseline is None or exitstatus != 0:
+def _gate(
+    session, option: str, env_var: str, default_name: str, threshold: float
+) -> None:
+    baseline = session.config.getoption(option)
+    if baseline is None:
         return
-    # The session fixture in bench_kernels.py has already torn down
-    # (fixture finalisers run before sessionfinish), so the fresh
-    # snapshot is on disk by now.
-    default = Path(__file__).resolve().parent / "BENCH_kernels.json"
-    candidate = Path(os.environ.get("BENCH_KERNELS_JSON", default))
+    # The session fixtures in bench_kernels.py / bench_scaling.py have
+    # already torn down (fixture finalisers run before sessionfinish),
+    # so the fresh snapshots are on disk by now.
+    default = Path(__file__).resolve().parent / default_name
+    candidate = Path(os.environ.get(env_var, default))
     if not candidate.exists():
-        print(f"\n--check: no kernel timings were written at {candidate}")
+        print(f"\n{option}: no timings were written at {candidate}")
         session.exitstatus = 1
         return
     from repro.obs.compare import compare_bench
 
-    report = compare_bench(baseline, candidate, threshold=0.25)
+    report = compare_bench(baseline, candidate, threshold=threshold)
     print(f"\nbench regression gate vs {baseline}:")
     print(report.render())
     if not report.ok:
         session.exitstatus = 1
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if exitstatus != 0:
+        return
+    _gate(session, "--check", "BENCH_KERNELS_JSON", "BENCH_kernels.json", 0.25)
+    _gate(
+        session,
+        "--check-scaling",
+        "BENCH_SCALING_JSON",
+        "BENCH_scaling.json",
+        0.50,
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

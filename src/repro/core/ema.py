@@ -37,6 +37,8 @@ cross-checks it against the brute-force reference in
 
 from __future__ import annotations
 
+from math import isfinite
+
 import numpy as np
 from scipy.ndimage import minimum_filter1d
 
@@ -47,6 +49,29 @@ from repro.errors import ConfigurationError
 from repro.net.gateway import SlotObservation
 
 __all__ = ["EMAScheduler", "trailing_window_min"]
+
+try:  # pragma: no cover - import plumbing
+    # The DP loop calls the minimum filter once per active user per
+    # slot; the public wrapper's argument validation is measurable at
+    # that call rate.  This invokes the same C routine with the same
+    # arguments the wrapper would pass (axis normalized, mode
+    # pre-encoded), so results are bit-identical; any scipy-internal
+    # change falls back to the public function.
+    from scipy.ndimage import _nd_image as _scipy_nd_image
+    from scipy.ndimage import _ni_support as _scipy_ni_support
+
+    _MODE_CONSTANT = _scipy_ni_support._extend_mode_to_code("constant")
+
+    def _trailing_min_into(shifted, size, origin, out):
+        _scipy_nd_image.min_or_max_filter1d(
+            shifted, size, 0, out, _MODE_CONSTANT, np.inf, origin, 1
+        )
+except Exception:  # pragma: no cover - scipy internals moved
+
+    def _trailing_min_into(shifted, size, origin, out):
+        minimum_filter1d(
+            shifted, size=size, mode="constant", cval=np.inf, origin=origin, output=out
+        )
 
 
 def trailing_window_min(values: np.ndarray, window: int) -> np.ndarray:
@@ -164,45 +189,94 @@ class EMAScheduler(Scheduler):
 
         # Affine transmit cost f(i, phi) = const_i + slope_i * phi and
         # idle cost f(i, 0) = const_i + V * tail_i, with const_i = PC_i * tau.
+        # The per-user coefficients are precomputed in one vectorised
+        # pass and the DP loop writes into preallocated scratch buffers
+        # (plus one value-table row per user) — same arithmetic, zero
+        # per-user allocations.  The element-wise operation order
+        # mirrors the original expression exactly, so allocations are
+        # bit-identical (guarded by tests/core/test_ema.py's
+        # brute-force cross-check).
         n_states = budget + 1
-        a_prev = np.zeros(n_states, dtype=float)
-        rows: list[np.ndarray] = []  # a[i] snapshots for backtracking
-        # (user, slope, const = PC_i*tau, idle = f(i,0), w)
-        meta: list[tuple[int, float, float, float, int]] = []
+        p_act = obs.p_mj_per_kb[active_idx]
+        rate_act = obs.rate_kbps[active_idx]
+        pc_act = pc[active_idx]
+        const_act = pc_act * tau
+        idle_act = const_act + v * obs.idle_tail_cost_mj[active_idx]
+        with np.errstate(invalid="ignore"):
+            # Lanes with non-finite P produce inf/nan slopes here; they
+            # take the no-tx branch below and never read the slope.
+            slope_act = delta * (v * p_act - pc_act / rate_act)
+        # w_eff = 0 marks the pure no-tx users (zero window or
+        # non-finite reception power); the backtrack never reads their
+        # slope, matching the original inf sentinel.
+        w_act = np.minimum(w_all[active_idx], n_states)
+        w_eff = np.where((w_act > 0) & np.isfinite(p_act), w_act, 0)
+        origin_act = w_eff - 1 - w_eff // 2
+        # Python-scalar mirrors of the coefficient vectors: the DP loop
+        # reads one scalar per user and list indexing is several times
+        # cheaper than NumPy scalar extraction at this call rate.
+        w_list = w_eff.tolist()
+        origin_list = origin_act.tolist()
+        slope_list = slope_act.tolist()
+        const_list = const_act.tolist()
+        idle_list = idle_act.tolist()
 
-        for i in active_idx:
-            w = int(w_all[i])
-            const = pc[i] * tau
-            idle = const + v * obs.idle_tail_cost_mj[i]
-            no_tx = a_prev + idle
-            if w <= 0 or not np.isfinite(obs.p_mj_per_kb[i]):
-                a_cur = no_tx
-                slope = np.inf
-                w = 0
+        a_prev = np.zeros(n_states, dtype=float)
+        rows = np.empty((active_idx.size, n_states), dtype=float)
+        m_idx = np.arange(n_states, dtype=float)
+        basis = np.empty(n_states, dtype=float)
+        prod = np.empty(n_states, dtype=float)
+        filt = np.empty(n_states, dtype=float)
+        prod_tail = prod[1:]
+        filt_head = filt[:-1]
+
+        for k in range(active_idx.size):
+            idle = idle_list[k]
+            a_cur = rows[k]
+            w = w_list[k]
+            if w == 0:
+                np.add(a_prev, idle, out=a_cur)  # no-tx only
             else:
-                slope = delta * (v * obs.p_mj_per_kb[i] - pc[i] / obs.rate_kbps[i])
-                m_idx = np.arange(n_states, dtype=float)
-                basis = a_prev - slope * m_idx
-                tx = const + slope * m_idx + trailing_window_min(basis, w)
-                a_cur = np.minimum(no_tx, tx)
-            rows.append(a_cur)
-            meta.append((int(i), float(slope), float(const), float(idle), w))
+                slope = slope_list[k]
+                # basis = a_prev - slope * m_idx
+                np.multiply(m_idx, slope, out=prod)
+                np.subtract(a_prev, prod, out=basis)
+                # trailing_window_min(basis, w) = filt[M-1] with filt
+                # the size-w window ending *at* M — one origin shift
+                # instead of the copy into a prepended-inf buffer.
+                _trailing_min_into(basis, w, origin_list[k], filt)
+                # tx = const + slope * m_idx + twm, with twm[0] = +inf
+                # (empty trailing window) and twm[1:] = filt[:-1].
+                np.add(prod, const_list[k], out=prod)
+                np.add(prod_tail, filt_head, out=prod_tail)
+                prod[0] = np.inf
+                # a_cur = min(no_tx, tx) with no_tx = a_prev + idle
+                np.add(a_prev, idle, out=a_cur)
+                np.minimum(a_cur, prod, out=a_cur)
             a_prev = a_cur
 
         # Step 15: best total unit count, then backtrack per user.
         m_star = int(np.argmin(a_prev))
-        self._backtrack(phi, rows, meta, m_star)
+        self._backtrack(
+            phi, rows, active_idx, slope_list, const_list, idle_list, w_list, m_star
+        )
         return phi
 
     @staticmethod
     def _backtrack(
         phi: np.ndarray,
-        rows: list[np.ndarray],
-        meta: list[tuple[int, float, float, float, int]],
+        rows: np.ndarray,
+        active_idx: np.ndarray,
+        slope_list: list[float],
+        const_list: list[float],
+        idle_list: list[float],
+        w_list: list[int],
         m_star: int,
     ) -> None:
         """Recover per-user allocations from the DP value tables.
 
+        ``rows`` is the ``(n_active, n_states)`` value-table matrix (one
+        row per DP level); the coefficient lists are indexed by level.
         The DP uses "total units *at most* M" semantics (the level-0
         predecessor is identically zero), so leftover capacity at the
         end of the backtrack is simply unused budget.  The argmin over
@@ -210,24 +284,30 @@ class EMAScheduler(Scheduler):
         O(w_i) vectorised work per user instead of storing the full
         ``g(i, M)`` table of Algorithm 2.
         """
-        if not rows:
+        if len(rows) == 0:
             return
         zeros_row = np.zeros_like(rows[0])
+        cands_all = np.arange(1, zeros_row.size)
+        affine = np.empty(zeros_row.size - 1, dtype=float)
+        vals = np.empty(zeros_row.size - 1, dtype=float)
         m = m_star
         for level in range(len(rows) - 1, -1, -1):
-            user, slope, const, idle, w = meta[level]
+            w_here = min(w_list[level], m)
+            if w_here <= 0 or not isfinite(slope := slope_list[level]):
+                continue  # phi stays 0, m unchanged
             a_prev = rows[level - 1] if level > 0 else zeros_row
-            best_phi = 0
-            best_val = float(a_prev[m]) + idle
-            w_here = min(w, m)
-            if w_here > 0 and np.isfinite(slope):
-                cands = np.arange(1, w_here + 1)
-                vals = a_prev[m - cands] + const + slope * cands
-                j = int(np.argmin(vals))
-                if vals[j] < best_val - 1e-12:
-                    best_phi = j + 1
-            phi[user] = best_phi
-            m -= best_phi
+            best_val = float(a_prev[m]) + idle_list[level]
+            # vals[j] = a_prev[m - (j+1)] + const + slope * (j+1):
+            # the fancy index a_prev[m - cands] is a reversed slice.
+            v_here = vals[:w_here]
+            np.multiply(cands_all[:w_here], slope, out=affine[:w_here])
+            np.add(a_prev[m - w_here : m][::-1], const_list[level], out=v_here)
+            np.add(v_here, affine[:w_here], out=v_here)
+            j = int(v_here.argmin())
+            if v_here[j] < best_val - 1e-12:
+                best_phi = j + 1
+                phi[active_idx[level]] = best_phi
+                m -= best_phi
 
     def _seed_queues(self, obs: SlotObservation) -> None:
         """Apply the place-holder backlog at each user's first active slot."""

@@ -3,7 +3,12 @@
 ``repro-experiments list`` shows the available experiments;
 ``repro-experiments run fig02 [--scale bench|full] [--seed N]`` runs
 one (or ``all``) and prints its tables.  ``--markdown`` emits the
-EXPERIMENTS.md-ready rendering.
+EXPERIMENTS.md-ready rendering.  ``--jobs N`` installs a process-pool
+:class:`~repro.sim.executor.RunExecutor` for the duration of the run,
+parallelising every sweep / comparison / calibration grid underneath
+(results and metrics are bit-identical to ``--jobs 1``; per-slot trace
+events stay worker-local, so use ``--jobs 1`` with ``--report-dir``
+when the full slot stream matters).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import SCALES, ExperimentResult
 from repro.obs.instrument import Instrumentation, use_instrumentation
+from repro.sim.executor import RunExecutor, use_executor
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -95,6 +101,13 @@ def main(argv: list[str] | None = None) -> int:
         help="trace each experiment and write trace.jsonl + metrics.json + "
         "report.html under <report-dir>/<exp_id>/",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for batched runs (sweeps, comparisons, "
+        "calibration grids); results are bit-identical to --jobs 1",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -103,15 +116,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
-    for exp_id in ids:
-        start = time.perf_counter()
-        if args.report_dir is not None:
-            result = _run_with_report(exp_id, args)
-        else:
-            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start
-        print(result.to_markdown() if args.markdown else result.render())
-        print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
+    with use_executor(RunExecutor(jobs=args.jobs)):
+        for exp_id in ids:
+            start = time.perf_counter()
+            if args.report_dir is not None:
+                result = _run_with_report(exp_id, args)
+            else:
+                result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+            elapsed = time.perf_counter() - start
+            print(result.to_markdown() if args.markdown else result.render())
+            print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
     return 0
 
 

@@ -5,11 +5,15 @@
 * :mod:`repro.media.buffer` — the remaining-occupancy / rebuffering
   recursions of Eqs. (7)-(8);
 * :mod:`repro.media.player` — a streaming client combining the two and
-  tracking elapsed vs. total playback time (``m_i`` / ``M_i``).
+  tracking elapsed vs. total playback time (``m_i`` / ``M_i``);
+* :mod:`repro.media.fleet` — the struct-of-arrays :class:`ClientFleet`
+  driving all clients of a cell in vectorized lockstep (the engine's
+  default hot path), bit-identical to the per-object recursion.
 """
 
 from repro.media.video import BitrateProfile, ConstantBitrateProfile, PiecewiseBitrateProfile, VideoSession
 from repro.media.buffer import PlaybackBuffer
+from repro.media.fleet import ClientFleet, FleetClientView
 from repro.media.player import PlayerState, StreamingClient
 
 __all__ = [
@@ -20,4 +24,6 @@ __all__ = [
     "PlaybackBuffer",
     "PlayerState",
     "StreamingClient",
+    "ClientFleet",
+    "FleetClientView",
 ]

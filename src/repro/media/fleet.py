@@ -1,0 +1,371 @@
+"""Struct-of-arrays client fleet: the vectorized playback hot path.
+
+:class:`ClientFleet` holds the state of every
+:class:`~repro.media.player.StreamingClient` in a cell as parallel
+NumPy arrays (delivered bytes, buffer occupancy, elapsed playback,
+pending playback duration, arrival masks) and applies the paper's
+per-slot recursions to all users at once:
+
+* :meth:`ClientFleet.begin_slot` — Eq. (7) buffer advance and Eq. (8)
+  rebuffering for every arrived user in a handful of element-wise
+  operations;
+* :meth:`ClientFleet.deliver` — the data-shard acceptance rule
+  (truncate to remaining media and to the receiver window) for the
+  whole fleet;
+* :meth:`ClientFleet.rates_for_slot` — the per-user required rates
+  ``p_i(n)``, evaluated from the sessions' bit-rate profiles without a
+  per-user Python loop (CBR and piecewise-VBR profiles are grouped and
+  indexed; exotic profiles fall back per-user).
+
+Every element-wise operation mirrors the scalar arithmetic of
+:class:`~repro.media.player.StreamingClient` /
+:class:`~repro.media.buffer.PlaybackBuffer` *exactly* (same operations
+in the same order), so a fleet-path simulation is bit-identical to the
+per-object path — the contract `tests/integration/test_fleet_equivalence.py`
+enforces.  State arrays are **rebound, never mutated in place**, which
+lets :class:`~repro.net.gateway.SlotObservation` snapshots alias them
+safely.
+
+:class:`FleetClientView` is a thin per-user window onto the arrays with
+the read API of :class:`StreamingClient`, so code written against
+individual clients (tests, diagnostics) keeps working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.media.player import PlayerState
+from repro.media.video import ConstantBitrateProfile, PiecewiseBitrateProfile
+
+__all__ = ["ClientFleet", "FleetClientView"]
+
+#: Tolerance for floating-point playback-time comparisons — must match
+#: ``repro.media.player._EPS`` for cross-path bit-identity.
+_EPS = 1e-9
+
+
+class _RateTable:
+    """Vectorized ``p_i(slot)`` lookup across heterogeneous profiles.
+
+    Profiles are grouped once at construction: constant-rate profiles
+    contribute a fixed vector, piecewise profiles are padded into a
+    matrix indexed by ``(slot // segment_slots) % n_segments``, and any
+    other :class:`~repro.media.video.BitrateProfile` subclass is
+    evaluated per-user (correct, just not vectorized).  The most recent
+    slot's vector is cached — the engine asks for the same slot several
+    times (observation, receiver window, delivery).
+    """
+
+    def __init__(self, profiles):
+        self.n = len(profiles)
+        const_idx, const_rates = [], []
+        pw_idx, pw_profiles = [], []
+        other_idx = []
+        for i, prof in enumerate(profiles):
+            if type(prof) is ConstantBitrateProfile:
+                const_idx.append(i)
+                const_rates.append(prof.rate_kbps(0))
+            elif type(prof) is PiecewiseBitrateProfile:
+                pw_idx.append(i)
+                pw_profiles.append(prof)
+            else:
+                other_idx.append(i)
+        self._const_idx = np.array(const_idx, dtype=np.intp)
+        self._const_rates = np.array(const_rates, dtype=float)
+        self._pw_idx = np.array(pw_idx, dtype=np.intp)
+        if pw_idx:
+            max_len = max(p.rates.size for p in pw_profiles)
+            self._pw_mat = np.zeros((len(pw_idx), max_len), dtype=float)
+            for k, p in enumerate(pw_profiles):
+                self._pw_mat[k, : p.rates.size] = p.rates
+            self._pw_seg = np.array(
+                [p.segment_slots for p in pw_profiles], dtype=np.int64
+            )
+            self._pw_len = np.array(
+                [p.rates.size for p in pw_profiles], dtype=np.int64
+            )
+            self._pw_rows = np.arange(len(pw_idx))
+        self._other = [(i, profiles[i]) for i in other_idx]
+        self._all_const = not pw_idx and not other_idx
+        self._cache_slot: int | None = None
+        self._cache: np.ndarray | None = None
+
+    def rates_for_slot(self, slot: int) -> np.ndarray:
+        if self._cache_slot == slot:
+            return self._cache
+        out = np.empty(self.n, dtype=float)
+        if self._const_idx.size:
+            out[self._const_idx] = self._const_rates
+        if self._pw_idx.size:
+            seg = (slot // self._pw_seg) % self._pw_len
+            out[self._pw_idx] = self._pw_mat[self._pw_rows, seg]
+        for i, prof in self._other:
+            out[i] = prof.rate_kbps(slot)
+        if self._all_const:
+            # Constant forever: pin the cache so it is computed once.
+            self._cache_slot, self._cache = slot, out
+            self.rates_for_slot = lambda _slot: out  # type: ignore[method-assign]
+            return out
+        self._cache_slot, self._cache = slot, out
+        return out
+
+
+class ClientFleet:
+    """All streaming clients of a cell as parallel state arrays.
+
+    Parameters
+    ----------
+    flows:
+        The workload's :class:`~repro.net.flows.VideoFlow` list; fixes
+        user order, sessions, and arrival slots.
+    tau_s:
+        Slot length, seconds.
+    buffer_capacity_s:
+        Optional client buffer cap (seconds of playback), shared by the
+        fleet — matching :class:`~repro.media.player.StreamingClient`'s
+        per-client parameter as the engine uses it.
+    """
+
+    def __init__(self, flows, tau_s: float, buffer_capacity_s: float | None = None):
+        if tau_s <= 0:
+            raise ConfigurationError("tau_s must be positive")
+        if buffer_capacity_s is not None and buffer_capacity_s <= 0:
+            raise ConfigurationError("buffer_capacity_s must be positive when given")
+        n = len(flows)
+        if n == 0:
+            raise ConfigurationError("fleet needs at least one flow")
+        self.n_users = n
+        self.tau_s = float(tau_s)
+        self.capacity_s = None if buffer_capacity_s is None else float(buffer_capacity_s)
+        self.videos = [f.video for f in flows]
+        self.size_kb = np.array([f.video.size_kb for f in flows], dtype=float)
+        self.arrival_slot = np.array([f.arrival_slot for f in flows], dtype=np.int64)
+        self._rates = _RateTable([f.video.profile for f in flows])
+
+        #: Total media bytes received so far (KB).
+        self.delivered_kb = np.zeros(n, dtype=float)
+        #: Total playback duration of received media (sum of t_i(n), s).
+        self.delivered_playback_s = np.zeros(n, dtype=float)
+        #: Elapsed playback time m_i (s).
+        self.elapsed_playback_s = np.zeros(n, dtype=float)
+        #: Cumulative rebuffering time (s).
+        self.total_rebuffering_s = np.zeros(n, dtype=float)
+        #: Remaining occupancy r_i(n), seconds of playback buffered.
+        self.buffer_occupancy_s = np.zeros(n, dtype=float)
+        #: Playback duration delivered in the current slot (pending t(n)).
+        self.pending_playback_s = np.zeros(n, dtype=float)
+        #: Rebuffering time c_i(n) of the most recent slot.
+        self.last_slot_rebuffering_s = np.zeros(n, dtype=float)
+        self._began = np.zeros(n, dtype=bool)
+        self._views: list[FleetClientView] | None = None
+
+    # -- progress predicates (all shape (n_users,)) --------------------------
+
+    @property
+    def fully_delivered(self) -> np.ndarray:
+        """All ``size_kb`` media bytes have been received."""
+        return self.delivered_kb >= self.size_kb - _EPS
+
+    @property
+    def playback_complete(self) -> np.ndarray:
+        """Users who have watched their entire video (``m_i >= M_i``)."""
+        return self.fully_delivered & (
+            self.elapsed_playback_s >= self.delivered_playback_s - _EPS
+        )
+
+    @property
+    def needs_data(self) -> np.ndarray:
+        """The gateway still has bytes to push to these users."""
+        return ~self.fully_delivered
+
+    @property
+    def remaining_kb(self) -> np.ndarray:
+        """Media bytes not yet delivered (KB)."""
+        return np.maximum(self.size_kb - self.delivered_kb, 0.0)
+
+    def active_mask(self, slot: int) -> np.ndarray:
+        """Session started and still has bytes to receive."""
+        return (slot >= self.arrival_slot) & self.needs_data
+
+    def rates_for_slot(self, slot: int) -> np.ndarray:
+        """Required data rates ``p_i(slot)`` (KB/s).  Do not mutate."""
+        return self._rates.rates_for_slot(slot)
+
+    def receivable_kb(self, slot: int) -> np.ndarray:
+        """Receiver windows: media bytes each client can accept this slot."""
+        if self.capacity_s is None:
+            return np.full(self.n_users, np.inf)
+        carried = np.maximum(self.buffer_occupancy_s - self.tau_s, 0.0)
+        headroom_s = self.capacity_s - carried - self.pending_playback_s
+        return np.where(
+            headroom_s <= 0.0, 0.0, headroom_s * self.rates_for_slot(slot)
+        )
+
+    # -- per-slot protocol ---------------------------------------------------
+
+    def begin_slot(self, slot: int) -> np.ndarray:
+        """Start slot ``slot`` for every arrived user: Eqs. (7)-(8).
+
+        Users whose session has not arrived are untouched (no buffer
+        advance, no startup rebuffering); completed users record zero
+        rebuffering.  Returns this slot's per-user rebuffering vector.
+        """
+        arrived = slot >= self.arrival_slot
+        tau = self.tau_s
+
+        # Eq. (7): r(n) = min(max(r(n-1) - tau, 0) + t(n-1), cap).
+        occ = np.maximum(self.buffer_occupancy_s - tau, 0.0) + self.pending_playback_s
+        if self.capacity_s is not None:
+            occ = np.minimum(occ, self.capacity_s)
+        occ = np.where(arrived, occ, self.buffer_occupancy_s)
+        self.buffer_occupancy_s = occ
+        self.pending_playback_s = np.where(arrived, 0.0, self.pending_playback_s)
+        self._began = self._began | arrived
+
+        playing = arrived & ~self.playback_complete
+        # Eq. (8): c(n) = max(tau - r(n), 0) while playback is unfinished.
+        rebuf = np.where(playing, np.maximum(tau - occ, 0.0), 0.0)
+        played = np.where(playing, tau - rebuf, 0.0)
+        # Do not play past the end of the received (== total) media;
+        # stalling past the end of the video is not rebuffering.
+        media_left = self.delivered_playback_s - self.elapsed_playback_s
+        over = playing & (played > media_left)
+        played = np.where(over, np.maximum(media_left, 0.0), played)
+        rebuf = np.where(over & self.fully_delivered, 0.0, rebuf)
+        self.elapsed_playback_s = self.elapsed_playback_s + played
+        self.total_rebuffering_s = self.total_rebuffering_s + rebuf
+        self.last_slot_rebuffering_s = rebuf
+        return rebuf
+
+    def deliver(self, offer_kb: np.ndarray, slot: int) -> np.ndarray:
+        """Record the slot's data shards for the whole fleet.
+
+        Each user's shard is truncated to the session's remaining bytes
+        and to the receiver window; the accepted amounts (KB) are
+        returned.
+        """
+        offer = np.asarray(offer_kb, dtype=float)
+        if offer.shape != (self.n_users,):
+            raise ConfigurationError("offer_kb has wrong shape")
+        if np.any(offer < 0):
+            raise ConfigurationError("data_kb must be non-negative")
+        accepted = np.minimum(
+            np.minimum(offer, self.remaining_kb), self.receivable_kb(slot)
+        )
+        accepted = np.where(accepted > 0.0, accepted, 0.0)
+        rates = self.rates_for_slot(slot)
+        if np.any((accepted > 0.0) & (rates <= 0.0)):
+            raise SimulationError(f"non-positive bitrate at slot {slot}")
+        duration = accepted / rates
+        self.delivered_kb = self.delivered_kb + accepted
+        self.delivered_playback_s = self.delivered_playback_s + duration
+        self.pending_playback_s = self.pending_playback_s + duration
+        return accepted
+
+    # -- per-user views ------------------------------------------------------
+
+    @property
+    def clients(self) -> list["FleetClientView"]:
+        """Per-user read views with the ``StreamingClient`` API."""
+        if self._views is None:
+            self._views = [FleetClientView(self, i) for i in range(self.n_users)]
+        return self._views
+
+    def view(self, user: int) -> "FleetClientView":
+        return self.clients[user]
+
+
+class FleetClientView:
+    """One user's window onto a :class:`ClientFleet`.
+
+    Mirrors the read API of :class:`~repro.media.player.StreamingClient`
+    (progress predicates, occupancy, receiver window, player state) so
+    per-client diagnostics and tests work unchanged against the fleet.
+    """
+
+    __slots__ = ("_fleet", "_i")
+
+    def __init__(self, fleet: ClientFleet, index: int):
+        self._fleet = fleet
+        self._i = index
+
+    @property
+    def video(self):
+        return self._fleet.videos[self._i]
+
+    @property
+    def tau_s(self) -> float:
+        return self._fleet.tau_s
+
+    @property
+    def delivered_kb(self) -> float:
+        return float(self._fleet.delivered_kb[self._i])
+
+    @property
+    def delivered_playback_s(self) -> float:
+        return float(self._fleet.delivered_playback_s[self._i])
+
+    @property
+    def elapsed_playback_s(self) -> float:
+        return float(self._fleet.elapsed_playback_s[self._i])
+
+    @property
+    def total_rebuffering_s(self) -> float:
+        return float(self._fleet.total_rebuffering_s[self._i])
+
+    @property
+    def fully_delivered(self) -> bool:
+        return bool(self._fleet.fully_delivered[self._i])
+
+    @property
+    def playback_complete(self) -> bool:
+        return bool(self._fleet.playback_complete[self._i])
+
+    @property
+    def needs_data(self) -> bool:
+        return bool(self._fleet.needs_data[self._i])
+
+    @property
+    def remaining_kb(self) -> float:
+        return float(self._fleet.remaining_kb[self._i])
+
+    @property
+    def buffer_occupancy_s(self) -> float:
+        return float(self._fleet.buffer_occupancy_s[self._i])
+
+    @property
+    def last_slot_rebuffering_s(self) -> float:
+        return float(self._fleet.last_slot_rebuffering_s[self._i])
+
+    def receivable_kb(self, slot: int) -> float:
+        fleet = self._fleet
+        if fleet.capacity_s is None:
+            return float("inf")
+        occ = float(fleet.buffer_occupancy_s[self._i])
+        carried = max(occ - fleet.tau_s, 0.0)
+        headroom_s = (
+            fleet.capacity_s - carried - float(fleet.pending_playback_s[self._i])
+        )
+        if headroom_s <= 0.0:
+            return 0.0
+        return headroom_s * self.video.rate_kbps(slot)
+
+    @property
+    def state(self) -> PlayerState:
+        fleet, i = self._fleet, self._i
+        if fleet.playback_complete[i]:
+            return PlayerState.FINISHED
+        if not fleet._began[i]:
+            return PlayerState.STARTUP
+        if fleet.last_slot_rebuffering_s[i] > 0:
+            return (
+                PlayerState.STARTUP
+                if fleet.elapsed_playback_s[i] <= _EPS
+                else PlayerState.REBUFFERING
+            )
+        return PlayerState.PLAYING
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FleetClientView(user={self._i}, {self.state.value})"

@@ -62,3 +62,29 @@ class DPIInspector:
         return np.array(
             [self.required_rate_kbps(f, slot) for f in flows], dtype=float
         )
+
+    def observed_rates_kbps(
+        self, flows: list[VideoFlow], true_rates_kbps: np.ndarray
+    ) -> np.ndarray:
+        """Apply the per-flow error factors to precomputed true rates.
+
+        The fleet path evaluates ``p_i(n)`` for the whole cell in one
+        vectorized lookup (see
+        :meth:`repro.media.fleet.ClientFleet.rates_for_slot`); this
+        applies the same per-flow factors — drawn lazily in flow order,
+        exactly as :meth:`required_rate_kbps` would — to that vector.
+        With zero error the input is returned as-is (callers must not
+        mutate it).
+        """
+        rates = np.asarray(true_rates_kbps, dtype=float)
+        if self.rate_error_frac == 0.0:
+            return rates
+        e = self.rate_error_frac
+        factors = np.empty(len(flows), dtype=float)
+        for k, flow in enumerate(flows):
+            factor = self._flow_factor.get(flow.user_id)
+            if factor is None:
+                factor = float(self._rng.uniform(1.0 - e, 1.0 + e))
+                self._flow_factor[flow.user_id] = factor
+            factors[k] = factor
+        return rates * factors

@@ -186,6 +186,51 @@ class InformationCollector:
             receivable_kb=receivable,
         )
 
+    def collect_fleet(
+        self,
+        slot: int,
+        sig_row: np.ndarray,
+        flows: list[VideoFlow],
+        fleet,
+        bs: BaseStation,
+        slicer: ResourceSlicer,
+        throughput_model,
+        power_model,
+        idle_tail_cost_mj: np.ndarray,
+    ) -> SlotObservation:
+        """:meth:`collect`, reading a :class:`~repro.media.fleet.ClientFleet`.
+
+        Identical observation, no per-user Python loops: client
+        feedback comes straight from the fleet's state arrays and the
+        DPI rates from its vectorized profile lookup.  Safe without
+        copies because the fleet rebinds (never mutates) its arrays.
+        """
+        n = fleet.n_users
+        sig = np.asarray(sig_row, dtype=float)
+        if len(flows) != n or sig.shape != (n,):
+            raise SimulationError("inconsistent per-user array lengths")
+        rates = self.dpi.observed_rates_kbps(flows, fleet.rates_for_slot(slot))
+        raw_cap = bs.capacity_kbps(slot)
+        video_cap = slicer.video_capacity_kbps(raw_cap, slot)
+        unit_budget = int(np.floor(bs.tau_s * video_cap / bs.delta_kb))
+        link_units = throughput_model.max_units(sig, bs.tau_s, bs.delta_kb)
+        return SlotObservation(
+            slot=slot,
+            tau_s=bs.tau_s,
+            delta_kb=bs.delta_kb,
+            capacity_kbps=video_cap,
+            unit_budget=unit_budget,
+            sig_dbm=sig,
+            rate_kbps=rates,
+            link_units=link_units,
+            p_mj_per_kb=np.asarray(power_model.p(sig), dtype=float),
+            active=fleet.active_mask(slot),
+            buffer_s=fleet.buffer_occupancy_s,
+            remaining_kb=fleet.remaining_kb,
+            idle_tail_cost_mj=np.asarray(idle_tail_cost_mj, dtype=float),
+            receivable_kb=fleet.receivable_kb(slot),
+        )
+
 
 class DataTransmitter:
     """Delivers allocated shards to clients, bounded by receiver queues."""
@@ -218,6 +263,25 @@ class DataTransmitter:
         receiver.drain(accepted)
         return accepted
 
+    def transmit_fleet(
+        self,
+        allocation_units: np.ndarray,
+        obs: SlotObservation,
+        receiver: DataReceiver,
+        fleet,
+    ) -> np.ndarray:
+        """:meth:`transmit` against a :class:`~repro.media.fleet.ClientFleet`."""
+        phi = np.asarray(allocation_units)
+        if phi.shape != (fleet.n_users,):
+            raise SimulationError("allocation has wrong shape")
+        if np.any(phi < 0):
+            raise SimulationError("allocation must be non-negative")
+        want_kb = phi.astype(float) * obs.delta_kb
+        offer_kb = np.minimum(want_kb, receiver.queued_kb)
+        accepted = fleet.deliver(offer_kb, obs.slot)
+        receiver.drain(accepted)
+        return accepted
+
 
 class Gateway:
     """Fig. 1 assembled: receiver + collector + scheduler + transmitter."""
@@ -247,15 +311,23 @@ class Gateway:
         slot: int,
         sig_row: np.ndarray,
         flows: list[VideoFlow],
-        clients: list[StreamingClient],
+        clients: list[StreamingClient] | None,
         throughput_model,
         power_model,
         idle_tail_cost_mj: np.ndarray,
         instrumentation=None,
+        fleet=None,
     ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
         """Run one slot of the framework.
 
         Returns ``(observation, allocation_units, delivered_kb)``.
+
+        Client state comes either from a list of per-user
+        :class:`~repro.media.player.StreamingClient` objects or — on
+        the engine's vectorized path — from a
+        :class:`~repro.media.fleet.ClientFleet` passed as ``fleet``
+        (in which case ``clients`` is ignored).  Both paths produce
+        bit-identical observations and deliveries.
 
         With an :class:`~repro.obs.instrument.Instrumentation` bundle
         attached, the observe/schedule/transmit phases are timed
@@ -279,17 +351,30 @@ class Gateway:
             _, rec_observe, rec_schedule, rec_transmit = cache
             _pc = perf_counter
             _t0 = _pc()
-        obs = self.collector.collect(
-            slot,
-            sig_row,
-            flows,
-            clients,
-            self.bs,
-            self.slicer,
-            throughput_model,
-            power_model,
-            idle_tail_cost_mj,
-        )
+        if fleet is not None:
+            obs = self.collector.collect_fleet(
+                slot,
+                sig_row,
+                flows,
+                fleet,
+                self.bs,
+                self.slicer,
+                throughput_model,
+                power_model,
+                idle_tail_cost_mj,
+            )
+        else:
+            obs = self.collector.collect(
+                slot,
+                sig_row,
+                flows,
+                clients,
+                self.bs,
+                self.slicer,
+                throughput_model,
+                power_model,
+                idle_tail_cost_mj,
+            )
         self.receiver.refill(obs.remaining_kb)
         if timed:
             _t1 = _pc()
@@ -298,7 +383,12 @@ class Gateway:
         if timed:
             _t2 = _pc()
             rec_schedule(_t2 - _t1)
-        delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
+        if fleet is not None:
+            delivered_kb = self.transmitter.transmit_fleet(
+                phi, obs, self.receiver, fleet
+            )
+        else:
+            delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
         if timed:
             rec_transmit(_pc() - _t2)
         return obs, phi, delivered_kb

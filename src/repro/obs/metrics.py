@@ -165,6 +165,40 @@ class MetricsRegistry:
                 out["histograms"][name] = metric.summary()
         return out
 
+    def state(self) -> dict[str, dict[str, Any]]:
+        """Mergeable raw state: counter values, gauge values, histogram samples.
+
+        Unlike :meth:`snapshot` this keeps histogram samples verbatim
+        (not summarised) and gauge values unconverted, so a registry
+        populated in a worker process can be shipped back and folded
+        into the parent with :meth:`merge_state` without losing
+        information.
+        """
+        out: dict[str, dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = list(metric.samples)
+        return out
+
+    def merge_state(self, state: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`state` dict into this registry.
+
+        Counters add, gauges last-write-win, histogram samples extend —
+        merging worker states in task order reproduces exactly the
+        registry a serial execution would have built (each engine
+        counter receives one increment per run).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, samples in state.get("histograms", {}).items():
+            self.histogram(name).samples.extend(samples)
+
     def write_json(self, path: str | Path) -> Path:
         """Serialise :meth:`snapshot` to ``path`` (parents created)."""
         path = Path(path)

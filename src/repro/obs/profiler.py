@@ -99,6 +99,20 @@ class PhaseProfiler:
     def phases(self) -> list[str]:
         return list(self._samples)
 
+    def raw_samples(self) -> dict[str, list[float]]:
+        """Copy of every phase's raw sample list (for worker shipping)."""
+        return {name: list(samples) for name, samples in self._samples.items()}
+
+    def merge_samples(self, mapping: dict[str, list[float]]) -> None:
+        """Extend this profiler with samples recorded elsewhere.
+
+        Used by the run executor to fold worker-process profilers into
+        the parent; merging in task order reproduces the sample lists a
+        serial execution would have appended.
+        """
+        for name, samples in mapping.items():
+            self._samples.setdefault(name, []).extend(samples)
+
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-phase aggregates: count, total_s, mean_s, p50_s, p95_s, max_s."""
         out: dict[str, dict[str, float]] = {}

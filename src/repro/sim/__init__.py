@@ -13,11 +13,20 @@
 * :mod:`repro.sim.runner` — comparisons on identical workloads,
   parameter sweeps, multi-seed replication, and the calibration
   helpers that set ``Phi = alpha * E_default`` / pick EMA's ``V`` for a
-  target rebuffering bound.
+  target rebuffering bound;
+* :mod:`repro.sim.executor` — serial and process-pool run execution
+  behind one ``map_runs`` API (``repro-experiments --jobs N``).
 """
 
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
+from repro.sim.executor import (
+    RunExecutor,
+    RunTask,
+    current_executor,
+    map_runs,
+    use_executor,
+)
 from repro.sim.metrics import (
     average_energy_mj,
     average_rebuffering_s,
@@ -29,6 +38,7 @@ from repro.sim.runner import (
     calibrate_ema_v,
     compare_schedulers,
     make_rtma_for_alpha,
+    multi_seed,
     run_scheduler,
     sweep,
 )
@@ -50,4 +60,10 @@ __all__ = [
     "sweep",
     "make_rtma_for_alpha",
     "calibrate_ema_v",
+    "multi_seed",
+    "RunTask",
+    "RunExecutor",
+    "map_runs",
+    "use_executor",
+    "current_executor",
 ]

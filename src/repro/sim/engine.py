@@ -32,12 +32,14 @@ strictly observational — instrumented and plain runs are bit-identical.
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
 import numpy as np
 
 from repro.core.allocation import check_constraints
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
+from repro.media.fleet import ClientFleet
 from repro.media.player import StreamingClient
 from repro.net.basestation import BaseStation, ConstantCapacity
 from repro.net.gateway import Gateway
@@ -90,6 +92,14 @@ class Simulation:
         ambient bundle established by
         :func:`~repro.obs.instrument.use_instrumentation` (and runs
         fully uninstrumented when there is none).
+    path:
+        Client-state implementation: ``"fleet"`` (default) drives the
+        vectorized :class:`~repro.media.fleet.ClientFleet`; ``"object"``
+        drives the original per-user :class:`StreamingClient` loop.
+        The two are bit-identical (guarded by
+        ``tests/integration/test_fleet_equivalence.py``) — ``"object"``
+        survives as the reference implementation.  ``None`` reads
+        ``$REPRO_SIM_PATH``, defaulting to ``"fleet"``.
     """
 
     def __init__(
@@ -98,7 +108,15 @@ class Simulation:
         scheduler,
         workload: Workload | None = None,
         instrumentation: Instrumentation | None = None,
+        path: str | None = None,
     ):
+        if path is None:
+            path = os.environ.get("REPRO_SIM_PATH", "fleet")
+        if path not in ("fleet", "object"):
+            raise ConfigurationError(
+                f"path must be 'fleet' or 'object', got {path!r}"
+            )
+        self.path = path
         self.config = config
         self.scheduler = scheduler
         self.instrumentation = instrumentation
@@ -149,10 +167,16 @@ class Simulation:
 
         self.scheduler.reset()
         self.scheduler.bind_instrumentation(instr)
-        clients = [
-            StreamingClient(flow.video, cfg.tau_s, cfg.buffer_capacity_s)
-            for flow in self.workload.flows
-        ]
+        use_fleet = self.path == "fleet"
+        if use_fleet:
+            fleet = ClientFleet(self.workload.flows, cfg.tau_s, cfg.buffer_capacity_s)
+            clients = None
+        else:
+            fleet = None
+            clients = [
+                StreamingClient(flow.video, cfg.tau_s, cfg.buffer_capacity_s)
+                for flow in self.workload.flows
+            ]
         bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
         slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
         gateway = Gateway(
@@ -203,13 +227,21 @@ class Simulation:
             #    not accrue startup rebuffering).
             if instrumented:
                 _t0 = _pc()
-            for i, client in enumerate(clients):
-                if slot < arrivals[i]:
-                    continue
-                c_i, _played = client.begin_slot(slot)
-                rebuf[slot, i] = c_i
-                if completion[i] < 0 and client.playback_complete:
-                    completion[i] = slot
+            if use_fleet:
+                rebuf[slot] = fleet.begin_slot(slot)
+                newly_done = (
+                    (completion < 0) & fleet.playback_complete & (slot >= arrivals)
+                )
+                if newly_done.any():
+                    completion[newly_done] = slot
+            else:
+                for i, client in enumerate(clients):
+                    if slot < arrivals[i]:
+                        continue
+                    c_i, _played = client.begin_slot(slot)
+                    rebuf[slot, i] = c_i
+                    if completion[i] < 0 and client.playback_complete:
+                        completion[i] = slot
             if instrumented:
                 rec_playback(_pc() - _t0)
 
@@ -224,6 +256,7 @@ class Simulation:
                 radio.power,
                 idle_cost,
                 instrumentation=instr,
+                fleet=fleet,
             )
             check_constraints(phi, obs)
             if np.any(sent_kb > phi * cfg.delta_kb + 1e-9):

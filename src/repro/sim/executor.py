@@ -1,0 +1,230 @@
+"""Run execution backends: serial and process-pool, one ``map_runs`` API.
+
+The repo's orchestration helpers (:mod:`repro.sim.runner`'s
+``compare_schedulers`` / ``sweep`` / ``multi_seed`` and the calibration
+grid evaluations) all reduce to the same shape: *run a batch of
+independent simulations and collect their results in order*.  This
+module gives that shape a single entry point:
+
+* :class:`RunTask` — one simulation to run (config, scheduler
+  instance, optional pre-generated workload);
+* :class:`RunExecutor` — maps a task batch to
+  :class:`~repro.sim.results.SimulationResult` objects, either
+  in-process (``jobs=1``, the default — byte-for-byte the behaviour of
+  a plain loop over ``Simulation(...).run()``) or on a process pool
+  (``jobs=N``);
+* :func:`map_runs` — module-level convenience resolving the ambient
+  executor installed with :func:`use_executor` (mirroring
+  :func:`repro.obs.instrument.use_instrumentation`), so experiment
+  code stays declarative and ``repro-experiments --jobs N``
+  parallelises every sweep underneath it without any experiment module
+  knowing.
+
+Determinism contract
+--------------------
+``jobs=N`` is bit-identical to ``jobs=1`` in results *and metrics*:
+
+* results are returned in task order regardless of completion order;
+* explicit workloads are shipped to each worker once (deduplicated by
+  object identity); tasks without a workload generate one in the
+  worker, cached by :func:`~repro.obs.provenance.config_hash` — the
+  same deterministic generation a serial run performs;
+* each worker runs under a private :class:`Instrumentation` whose
+  metrics state and profiler samples are merged back into the parent
+  bundle in task order.  Engine counters receive one increment per
+  run, so the merged registry equals the serially-populated one
+  exactly (``tests/sim/test_executor.py``).
+
+The one thing workers do **not** ship back is per-slot trace events —
+a parallel run's trace contains the orchestration-level events only
+(``sweep.point``, ``calibration.*``, run summaries), not the ``slot``
+stream.  Run with ``jobs=1`` when a full trace is needed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.instrument import Instrumentation, current_instrumentation
+from repro.obs.provenance import config_hash
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.sim.workload import Workload, generate_workload
+
+__all__ = [
+    "RunTask",
+    "RunExecutor",
+    "map_runs",
+    "use_executor",
+    "current_executor",
+]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One simulation to execute.
+
+    ``scheduler`` is a ready-built (picklable) scheduler *instance* —
+    factories close over configs and do not cross process boundaries,
+    so callers construct schedulers before batching.  ``workload=None``
+    generates the config's seeded workload at run time (in the worker,
+    cached by config hash).
+    """
+
+    config: SimConfig
+    scheduler: object
+    workload: Workload | None = field(default=None)
+
+
+#: Worker-process state: explicit workloads shipped by the parent
+#: (keyed by batch-local ids) plus generated workloads keyed by config
+#: hash, so repeated configs in a batch generate once per worker.
+_WORKER_WORKLOADS: dict[str, Workload] = {}
+
+
+def _init_worker(workload_table: dict[str, Workload]) -> None:
+    _WORKER_WORKLOADS.clear()
+    _WORKER_WORKLOADS.update(workload_table)
+
+
+def _run_task(payload):
+    config, scheduler, wl_key, instrumented = payload
+    if wl_key is not None:
+        workload = _WORKER_WORKLOADS[wl_key]
+    else:
+        key = config_hash(config)
+        workload = _WORKER_WORKLOADS.get(key)
+        if workload is None:
+            workload = generate_workload(config)
+            _WORKER_WORKLOADS[key] = workload
+    if not instrumented:
+        return Simulation(config, scheduler, workload).run(), None, None
+    instr = Instrumentation()  # NullTracer: slot events stay local
+    result = Simulation(config, scheduler, workload, instrumentation=instr).run()
+    return result, instr.metrics.state(), instr.profiler.raw_samples()
+
+
+class RunExecutor:
+    """Executes :class:`RunTask` batches, serially or on a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs every task in-process —
+        identical to a plain loop, with the caller's (or ambient)
+        instrumentation observing each run directly.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = int(jobs)
+
+    def map_runs(
+        self,
+        tasks: Sequence[RunTask],
+        instrumentation: Instrumentation | None = None,
+    ) -> list[SimulationResult]:
+        """Run every task; results are returned in task order.
+
+        ``instrumentation=None`` falls back to the ambient bundle, as
+        the engine itself would.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        instr = (
+            instrumentation
+            if instrumentation is not None
+            else current_instrumentation()
+        )
+        if self.jobs == 1 or len(tasks) == 1:
+            return [
+                Simulation(
+                    t.config, t.scheduler, t.workload, instrumentation=instr
+                ).run()
+                for t in tasks
+            ]
+        return self._map_pool(tasks, instr)
+
+    def _map_pool(
+        self, tasks: list[RunTask], instr: Instrumentation | None
+    ) -> list[SimulationResult]:
+        # Ship each distinct explicit workload once (dedup by object
+        # identity — compare/sweep batches share one object).
+        table: dict[str, Workload] = {}
+        keys_by_id: dict[int, str] = {}
+        payloads = []
+        instrumented = instr is not None
+        for t in tasks:
+            wl_key = None
+            if t.workload is not None:
+                wl_key = keys_by_id.get(id(t.workload))
+                if wl_key is None:
+                    wl_key = f"wl{len(table)}"
+                    keys_by_id[id(t.workload)] = wl_key
+                    table[wl_key] = t.workload
+            # Detach any bound instrumentation before pickling (open
+            # trace writers are not picklable; the engine rebinds).
+            bind = getattr(t.scheduler, "bind_instrumentation", None)
+            if bind is not None:
+                bind(None)
+            payloads.append((t.config, t.scheduler, wl_key, instrumented))
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)),
+            initializer=_init_worker,
+            initargs=(table,),
+        ) as pool:
+            outs = list(pool.map(_run_task, payloads))
+        results = []
+        for result, metrics_state, profiler_samples in outs:
+            results.append(result)
+            if instr is not None:
+                if metrics_state is not None:
+                    instr.metrics.merge_state(metrics_state)
+                if profiler_samples is not None:
+                    instr.profiler.merge_samples(profiler_samples)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RunExecutor(jobs={self.jobs})"
+
+
+_SERIAL = RunExecutor(jobs=1)
+_AMBIENT: list[RunExecutor] = []
+
+
+def current_executor() -> RunExecutor | None:
+    """The innermost ambient executor, or ``None`` when none is active."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+@contextmanager
+def use_executor(executor: RunExecutor) -> Iterator[RunExecutor]:
+    """Make ``executor`` ambient for the dynamic extent of the block.
+
+    Every :func:`map_runs` call underneath — the runner helpers, the
+    calibration grids, the experiment sweeps — uses it by default.
+    """
+    _AMBIENT.append(executor)
+    try:
+        yield executor
+    finally:
+        _AMBIENT.pop()
+
+
+def map_runs(
+    tasks: Sequence[RunTask],
+    executor: RunExecutor | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> list[SimulationResult]:
+    """Run a task batch on the given / ambient / default-serial executor."""
+    ex = executor if executor is not None else current_executor()
+    if ex is None:
+        ex = _SERIAL
+    return ex.map_runs(tasks, instrumentation=instrumentation)

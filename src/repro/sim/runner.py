@@ -6,6 +6,12 @@ configure RTMA with ``Phi = alpha * E_default`` (or pick EMA's ``V``
 for a rebuffering bound ``Omega = beta * R_default``) and re-run on
 the **same workload**.  The helpers here encode that protocol so the
 experiment scripts and benches stay declarative.
+
+Every batched helper (comparisons, sweeps, multi-seed replication, the
+calibration grids) routes its runs through
+:func:`repro.sim.executor.map_runs`, so installing a pooled executor
+(:func:`repro.sim.executor.use_executor`, or ``repro-experiments
+--jobs N``) parallelises them with bit-identical results and metrics.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.obs.instrument import Instrumentation, current_instrumentation
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
+from repro.sim.executor import RunTask, map_runs
 from repro.sim.results import SimulationResult
 from repro.sim.workload import Workload, generate_workload
 
@@ -71,9 +78,11 @@ def compare_schedulers(
         raise ConfigurationError("need at least one scheduler")
     wl = workload if workload is not None else generate_workload(config)
     instr = _resolve_instrumentation(instrumentation)
+    names = list(schedulers)
+    tasks = [RunTask(config, schedulers[name], wl) for name in names]
+    runs = map_runs(tasks, instrumentation=instr)
     results: dict[str, SimulationResult] = {}
-    for name, sched in schedulers.items():
-        res = run_scheduler(config, sched, wl, instrumentation=instrumentation)
+    for name, res in zip(names, runs):
         results[name] = res
         if instr is not None and instr.tracer.enabled:
             instr.tracer.emit(
@@ -95,12 +104,13 @@ def sweep(
     calibrated policies (RTMA with alpha-scaled budgets) plug in.
     """
     instr = _resolve_instrumentation(instrumentation)
-    results = []
+    tasks = []
     for value in values:
         cfg = base_config.with_(**{axis: value})
-        res = run_scheduler(cfg, scheduler_factory(cfg), instrumentation=instrumentation)
-        results.append(res)
-        if instr is not None:
+        tasks.append(RunTask(cfg, scheduler_factory(cfg)))
+    results = map_runs(tasks, instrumentation=instr)
+    if instr is not None:
+        for value, res in zip(values, results):
             instr.metrics.counter("sweep.points").inc()
             if instr.tracer.enabled:
                 instr.tracer.emit(
@@ -156,9 +166,7 @@ def calibrate_rtma_threshold(
     budget = alpha * default_reference(cal_cfg, wl).pe_mj
     sig_model = cal_cfg.make_signal_model()
 
-    def pe_for(threshold: float) -> float:
-        sched = RTMAScheduler(sig_threshold_dbm=threshold)
-        pe = run_scheduler(cal_cfg, sched, wl).pe_mj
+    def note(threshold: float, pe: float) -> None:
         if instr is not None:
             instr.metrics.counter("calibration.grid_evaluations").inc()
             instr.metrics.histogram("calibration.rtma.pe_mj").observe(pe)
@@ -169,6 +177,11 @@ def calibrate_rtma_threshold(
                     pe_mj=pe,
                     budget_mj=budget,
                 )
+
+    def pe_for(threshold: float) -> float:
+        sched = RTMAScheduler(sig_threshold_dbm=threshold)
+        pe = run_scheduler(cal_cfg, sched, wl).pe_mj
+        note(threshold, pe)
         return pe
 
     def finish(threshold: float, feasible: bool) -> float:
@@ -202,7 +215,18 @@ def calibrate_rtma_threshold(
             ]
         )
     )
-    pes = np.array([pe_for(float(t)) for t in grid])
+    # Grid points are independent runs on one shared workload — fan
+    # them out through the (possibly parallel) run executor.  Inner
+    # runs stay on the *ambient* instrumentation, exactly as the
+    # serial run_scheduler calls resolved it.
+    tasks = [
+        RunTask(cal_cfg, RTMAScheduler(sig_threshold_dbm=float(t)), wl)
+        for t in grid
+    ]
+    grid_runs = map_runs(tasks)
+    pes = np.array([res.pe_mj for res in grid_runs])
+    for t, pe in zip(grid, pes):
+        note(float(t), float(pe))
     feasible = pes <= budget
     if np.any(feasible):
         # Weakest feasible threshold (smallest rebuffering impact).
@@ -282,9 +306,7 @@ def calibrate_ema_v(
     if wl is None:
         wl = generate_workload(cal_cfg)
 
-    def run_v(v: float):
-        sched = EMAScheduler(cal_cfg.n_users, v_param=v, tau_s=cal_cfg.tau_s)
-        res = run_scheduler(cal_cfg, sched, wl)
+    def note(v: float, res: SimulationResult) -> None:
         if instr is not None:
             instr.metrics.counter("calibration.grid_evaluations").inc()
             instr.metrics.histogram("calibration.ema.pc_s").observe(res.pc_s)
@@ -297,7 +319,6 @@ def calibrate_ema_v(
                     pe_mj=res.pe_mj,
                     bound_s=rebuffering_bound_s,
                 )
-        return res.pc_s, res.pe_mj
 
     def finish(v: float, feasible: bool) -> float:
         if instr is not None:
@@ -312,9 +333,21 @@ def calibrate_ema_v(
         return v
 
     grid = np.geomspace(v_lo, v_hi, max(iterations, 4))
-    measured = [run_v(float(v)) for v in grid]
-    pcs = np.array([m[0] for m in measured])
-    pes = np.array([m[1] for m in measured])
+    # Independent grid runs on one shared workload — executor fan-out,
+    # ambient instrumentation for the inner runs (as before).
+    tasks = [
+        RunTask(
+            cal_cfg,
+            EMAScheduler(cal_cfg.n_users, v_param=float(v), tau_s=cal_cfg.tau_s),
+            wl,
+        )
+        for v in grid
+    ]
+    grid_runs = map_runs(tasks)
+    for v, res in zip(grid, grid_runs):
+        note(float(v), res)
+    pcs = np.array([res.pc_s for res in grid_runs])
+    pes = np.array([res.pe_mj for res in grid_runs])
     feasible = np.flatnonzero(pcs <= rebuffering_bound_s)
     if feasible.size:
         # Most energy-saving feasible setting: PE(V) is not monotone
@@ -367,12 +400,14 @@ def multi_seed(
 ) -> list[SimulationResult]:
     """Replicate a run across seeds (for confidence intervals)."""
     instr = _resolve_instrumentation(instrumentation)
-    out = []
+    seeds = list(seeds)
+    tasks = []
     for seed in seeds:
         cfg = config.with_(seed=seed)
-        res = run_scheduler(cfg, scheduler_factory(cfg), instrumentation=instrumentation)
-        out.append(res)
-        if instr is not None and instr.tracer.enabled:
+        tasks.append(RunTask(cfg, scheduler_factory(cfg)))
+    out = map_runs(tasks, instrumentation=instr)
+    if instr is not None and instr.tracer.enabled:
+        for seed, res in zip(seeds, out):
             instr.tracer.emit(
                 "multi_seed.run", seed=seed, pe_mj=res.pe_mj, pc_s=res.pc_s
             )

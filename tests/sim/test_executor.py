@@ -1,0 +1,195 @@
+"""The run executor: serial/pool equivalence and ambient wiring.
+
+The contract under test is the one the docs promise: ``jobs=N`` is
+bit-identical to ``jobs=1`` in results *and* in the merged metrics
+registry, for explicit-workload batches (compare/sweep shape) and
+generate-in-worker batches (multi-seed shape) alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DefaultScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.errors import ConfigurationError
+from repro.obs import Instrumentation, use_instrumentation
+from repro.sim import (
+    RunExecutor,
+    RunTask,
+    SimConfig,
+    compare_schedulers,
+    current_executor,
+    map_runs,
+    multi_seed,
+    sweep,
+    use_executor,
+)
+from repro.sim.workload import generate_workload
+
+RESULT_ARRAYS = (
+    "allocation_units",
+    "delivered_kb",
+    "rebuffering_s",
+    "energy_trans_mj",
+    "energy_tail_mj",
+    "buffer_s",
+    "need_kb",
+    "active",
+    "completion_slot",
+    "arrival_slot",
+)
+
+
+def small_config(seed=11):
+    return SimConfig(n_users=5, n_slots=80, capacity_kbps=4_000.0, seed=seed)
+
+
+def make_tasks(cfg, thresholds, workload):
+    return [
+        RunTask(cfg, RTMAScheduler(sig_threshold_dbm=t), workload)
+        for t in thresholds
+    ]
+
+
+def assert_results_bit_identical(a, b):
+    for name in RESULT_ARRAYS:
+        assert getattr(a, name).tobytes() == getattr(b, name).tobytes(), name
+
+
+class TestSerialPoolEquivalence:
+    THRESHOLDS = [-110.0, -100.0, -95.0, -90.0]
+
+    def test_results_bit_identical(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        serial = RunExecutor(jobs=1).map_runs(make_tasks(cfg, self.THRESHOLDS, wl))
+        pooled = RunExecutor(jobs=2).map_runs(make_tasks(cfg, self.THRESHOLDS, wl))
+        assert len(serial) == len(pooled) == len(self.THRESHOLDS)
+        for a, b in zip(serial, pooled):
+            assert_results_bit_identical(a, b)
+
+    def test_metrics_bit_identical(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        states = []
+        for jobs in (1, 2):
+            instr = Instrumentation()
+            RunExecutor(jobs=jobs).map_runs(
+                make_tasks(cfg, self.THRESHOLDS, wl), instrumentation=instr
+            )
+            states.append(instr.metrics.state())
+        assert states[0]["counters"] == states[1]["counters"]
+        assert states[0]["histograms"] == states[1]["histograms"]
+        assert set(states[0]["gauges"]) == set(states[1]["gauges"])
+        for name, value in states[0]["gauges"].items():
+            other = states[1]["gauges"][name]
+            if isinstance(value, np.ndarray):
+                assert value.tobytes() == other.tobytes(), name
+            else:
+                assert value == other, name
+
+    def test_generated_workloads_match(self):
+        # No explicit workload: workers regenerate from the seeded
+        # config (multi-seed shape) and must agree with in-process runs.
+        tasks = [
+            RunTask(small_config(seed=s), DefaultScheduler()) for s in (1, 2, 3)
+        ]
+        serial = RunExecutor(jobs=1).map_runs(tasks)
+        pooled = RunExecutor(jobs=3).map_runs(tasks)
+        for a, b in zip(serial, pooled):
+            assert_results_bit_identical(a, b)
+
+    def test_profiler_samples_merge(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        instr = Instrumentation()
+        RunExecutor(jobs=2).map_runs(
+            make_tasks(cfg, self.THRESHOLDS, wl), instrumentation=instr
+        )
+        summary = instr.profiler.summary()
+        assert summary, "worker profiler samples should merge into the parent"
+        assert summary["playback"]["count"] == len(self.THRESHOLDS) * cfg.n_slots
+
+
+class TestExecutorAPI:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RunExecutor(jobs=0)
+
+    def test_empty_batch(self):
+        assert RunExecutor(jobs=2).map_runs([]) == []
+
+    def test_ambient_executor(self):
+        assert current_executor() is None
+        ex = RunExecutor(jobs=1)
+        with use_executor(ex):
+            assert current_executor() is ex
+        assert current_executor() is None
+
+    def test_map_runs_defaults_to_serial(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        (res,) = map_runs([RunTask(cfg, DefaultScheduler(), wl)])
+        assert res.pe_mj > 0
+
+
+class TestRunnerOnExecutor:
+    """The runner helpers route through map_runs and honour the
+    ambient executor; parallel output equals serial output."""
+
+    def _schedulers(self):
+        return {
+            "default": DefaultScheduler(),
+            "rtma": RTMAScheduler(sig_threshold_dbm=-95.0),
+        }
+
+    def test_compare_schedulers_parallel(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        serial = compare_schedulers(cfg, self._schedulers(), wl)
+        with use_executor(RunExecutor(jobs=2)):
+            pooled = compare_schedulers(cfg, self._schedulers(), wl)
+        assert list(serial) == list(pooled)
+        for name in serial:
+            assert_results_bit_identical(serial[name], pooled[name])
+
+    def test_sweep_parallel(self):
+        cfg = small_config()
+        values = [3, 5, 7]
+        factory = lambda c: DefaultScheduler()  # noqa: E731
+        serial = sweep(cfg, "n_users", values, factory)
+        with use_executor(RunExecutor(jobs=2)):
+            pooled = sweep(cfg, "n_users", values, factory)
+        for a, b in zip(serial, pooled):
+            assert_results_bit_identical(a, b)
+
+    def test_multi_seed_parallel(self):
+        cfg = small_config()
+        factory = lambda c: DefaultScheduler()  # noqa: E731
+        serial = multi_seed(cfg, factory, [4, 5, 6])
+        with use_executor(RunExecutor(jobs=2)):
+            pooled = multi_seed(cfg, factory, [4, 5, 6])
+        for a, b in zip(serial, pooled):
+            assert_results_bit_identical(a, b)
+
+    def test_explicit_instrumentation_observes_runs(self):
+        # Regression: compare/sweep/multi_seed used to forward the
+        # *unresolved* instrumentation argument to the engine, so an
+        # explicitly passed bundle never saw the runs' counters.
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        instr = Instrumentation()
+        compare_schedulers(cfg, self._schedulers(), wl, instrumentation=instr)
+        assert instr.metrics.counter("engine.slots").value == 2 * cfg.n_slots
+
+    def test_explicit_wins_over_ambient(self):
+        cfg = small_config()
+        wl = generate_workload(cfg)
+        explicit = Instrumentation()
+        ambient = Instrumentation()
+        with use_instrumentation(ambient):
+            compare_schedulers(
+                cfg, self._schedulers(), wl, instrumentation=explicit
+            )
+        assert explicit.metrics.counter("engine.slots").value == 2 * cfg.n_slots
+        assert "engine.slots" not in ambient.metrics
