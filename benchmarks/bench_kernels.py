@@ -11,6 +11,12 @@ Every benchmark's round timings are also recorded into a
 registry snapshot is written to ``BENCH_kernels.json`` (next to this
 file, or at ``$BENCH_KERNELS_JSON``) so the performance trajectory is
 machine-readable run over run.
+
+Every bench is parameterised over the kernel backends importable on
+this machine (numpy always; numba when installed), so histogram names
+carry a ``[numpy]`` / ``[numba]`` suffix and the ``--check`` gate only
+ever compares a backend against itself — a numpy-only baseline treats
+numba entries as "added", never as a cross-backend regression.
 """
 
 import os
@@ -22,6 +28,7 @@ import pytest
 from repro.baselines.default import DefaultScheduler
 from repro.core.ema import EMAScheduler, trailing_window_min
 from repro.core.rtma import RTMAScheduler
+from repro.kernels import available_backends, use_backend
 from repro.net.gateway import SlotObservation
 from repro.obs import Instrumentation, MetricsRegistry, NullTracer
 from repro.radio.rrc import RRCFleet
@@ -30,6 +37,18 @@ from repro.sim.engine import Simulation
 
 #: Shared registry all kernel benches report into (one file per session).
 KERNEL_REGISTRY = MetricsRegistry()
+
+#: Timed backends: the interpreted "python" loops are a correctness
+#: tool, not a performance configuration, so they are never benched.
+BENCH_BACKENDS = [b for b in available_backends() if b != "python"]
+
+
+@pytest.fixture(params=BENCH_BACKENDS, autouse=True)
+def kernel_backend(request):
+    """Run every bench once per importable backend (suffixes the node
+    name, and with it the recorded histogram, with the backend)."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture(scope="session", autouse=True)

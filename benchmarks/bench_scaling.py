@@ -10,13 +10,20 @@ carries a full-cell scheduling problem.
 
 Round timings land in ``BENCH_scaling.json`` (next to this file, or at
 ``$BENCH_SCALING_JSON``) as ``bench.scaling.<sched>.u<n>.seconds``
-histograms plus ``scaling.<sched>.u<n>.slots_per_sec`` gauges.  The
-committed ``baseline_scaling.json`` was captured on the pre-fleet
-per-object engine path (``REPRO_SIM_PATH=object``); gate a fresh run
-against it with::
+histograms plus ``scaling.<sched>.u<n>.slots_per_sec`` gauges, a
+``scaling.backend`` gauge naming the kernel backend that produced the
+snapshot, and ``scaling.<sched>.u<n>.phase.<phase>_total_s`` gauges
+splitting one instrumented (untimed) run into the engine's pipeline
+phases — the scheduler DP lives in ``schedule``, client playback in
+``playback``, and the gateway observe/transmit legs in their own
+phases.  Gate a fresh run against the committed baseline with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_scaling.py \\
         --check-scaling benchmarks/baseline_scaling.json
+
+The gate is backend-aware (see ``conftest.py``): same-backend runs
+compare p50s and hold the n=1000 slots/sec floor; a numba candidate
+against the numpy baseline instead asserts the >= 3x EMA speedup.
 """
 
 import os
@@ -27,6 +34,8 @@ import pytest
 
 from repro.core.ema import EMAScheduler
 from repro.core.rtma import RTMAScheduler
+from repro.kernels import resolved_backend
+from repro.obs import Instrumentation
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
@@ -38,10 +47,10 @@ SCALING_REGISTRY = MetricsRegistry()
 #: The paper's per-user serving capacity: 20 MB/s across 40 users.
 PER_USER_CAPACITY_KBPS = 512.0
 
-N_USERS = (10, 50, 200, 1000)
+N_USERS = (10, 50, 200, 1000, 2000)
 #: Horizon per size, chosen so each round stays in benchmark territory.
-N_SLOTS = {10: 400, 50: 300, 200: 150, 1000: 40}
-ROUNDS = {10: 4, 50: 4, 200: 3, 1000: 2}
+N_SLOTS = {10: 400, 50: 300, 200: 150, 1000: 40, 2000: 20}
+ROUNDS = {10: 4, 50: 4, 200: 3, 1000: 2, 2000: 2}
 
 _WORKLOADS: dict[int, object] = {}
 
@@ -85,6 +94,20 @@ def _record(benchmark, sched_name: str, n_users: int) -> None:
     SCALING_REGISTRY.gauge(
         f"scaling.{sched_name}.u{n_users:04d}.slots_per_sec"
     ).set(N_SLOTS[n_users] / float(np.median(data)))
+    SCALING_REGISTRY.gauge("scaling.backend").set(resolved_backend())
+
+
+def _record_phase_split(cfg: SimConfig, sched_name: str, wl) -> None:
+    """One instrumented run (outside any timer) to split the wall
+    clock across the engine's phases — where does a slot go as n grows?
+    """
+    instr = Instrumentation()
+    Simulation(cfg, _make_scheduler(sched_name, cfg), wl,
+               instrumentation=instr).run()
+    for phase, stats in instr.profiler.summary().items():
+        SCALING_REGISTRY.gauge(
+            f"scaling.{sched_name}.u{cfg.n_users:04d}.phase.{phase}_total_s"
+        ).set(stats["total_s"])
 
 
 def _make_scheduler(sched_name: str, cfg: SimConfig):
@@ -107,3 +130,4 @@ def test_engine_scaling(benchmark, sched_name, n_users):
     )
     assert res.delivered_kb.sum() > 0
     _record(benchmark, sched_name, n_users)
+    _record_phase_split(cfg, sched_name, wl)

@@ -38,21 +38,29 @@ def pytest_addoption(parser):
         action="store",
         default=None,
         metavar="BASELINE_JSON",
-        help="gate the session's BENCH_scaling.json against this baseline "
-        "(fail on any scaling-point p50 slowdown > 50%; the committed "
-        "baseline is the pre-fleet object path, so small-n points are "
-        "allowed a bounded constant vectorisation overhead while any "
-        "real fleet regression shows up at n >= 200, where the fleet "
-        "path is several times faster)",
+        help="gate the session's BENCH_scaling.json against this baseline. "
+        "Backend-aware: same-backend runs fail on any scaling-point p50 "
+        "slowdown > 50% or an n=1000 slots/sec drop > 5%; a numba "
+        "candidate vs a numpy baseline skips p50s and instead requires "
+        "EMA n=1000 slots/sec >= 3x the baseline",
     )
 
 
-def _gate(
-    session, option: str, env_var: str, default_name: str, threshold: float
-) -> None:
+#: Same-backend floor: the n=1000 EMA/RTMA throughput may not drop
+#: below this fraction of the baseline (the numpy non-regression gate).
+SLOTS_PER_SEC_FLOOR = 0.95
+#: Cross-backend floor: a numba candidate must beat the numpy baseline
+#: EMA n=1000 throughput by at least this factor.
+NUMBA_SPEEDUP_FLOOR = 3.0
+#: The scaling points held to the slots/sec floors.
+GATED_SCALING_POINTS = ("scaling.ema.u1000.slots_per_sec",
+                        "scaling.rtma.u1000.slots_per_sec")
+
+
+def _resolve_candidate(session, option: str, env_var: str, default_name: str):
     baseline = session.config.getoption(option)
     if baseline is None:
-        return
+        return None, None
     # The session fixtures in bench_kernels.py / bench_scaling.py have
     # already torn down (fixture finalisers run before sessionfinish),
     # so the fresh snapshots are on disk by now.
@@ -61,6 +69,15 @@ def _gate(
     if not candidate.exists():
         print(f"\n{option}: no timings were written at {candidate}")
         session.exitstatus = 1
+        return None, None
+    return baseline, candidate
+
+
+def _gate(
+    session, option: str, env_var: str, default_name: str, threshold: float
+) -> None:
+    baseline, candidate = _resolve_candidate(session, option, env_var, default_name)
+    if candidate is None:
         return
     from repro.obs.compare import compare_bench
 
@@ -71,17 +88,75 @@ def _gate(
         session.exitstatus = 1
 
 
+def _scaling_gauges(path) -> dict:
+    from repro.obs.compare import load_metrics
+
+    return dict(load_metrics(path).get("gauges") or {})
+
+
+def _gate_scaling(session, threshold: float) -> None:
+    """Backend-aware scaling gate.
+
+    Same backend on both sides: the usual p50 comparison, plus a
+    slots/sec floor at n=1000 so a uniform slowdown below the p50
+    threshold still cannot erode the scaling headline.  Candidate on
+    the numba backend vs a numpy baseline: p50s are incomparable
+    across backends, so instead enforce the JIT acceptance bar — EMA
+    at n=1000 must run >= NUMBA_SPEEDUP_FLOOR times the numpy
+    baseline's slots/sec.
+    """
+    baseline, candidate = _resolve_candidate(
+        session, "--check-scaling", "BENCH_SCALING_JSON", "BENCH_scaling.json"
+    )
+    if candidate is None:
+        return
+    base_g, cand_g = _scaling_gauges(baseline), _scaling_gauges(candidate)
+    base_backend = base_g.get("scaling.backend", "numpy")
+    cand_backend = cand_g.get("scaling.backend", "numpy")
+
+    failed = False
+    if base_backend == cand_backend:
+        from repro.obs.compare import compare_bench
+
+        report = compare_bench(baseline, candidate, threshold=threshold)
+        print(f"\nscaling regression gate vs {baseline} [{base_backend}]:")
+        print(report.render())
+        failed = not report.ok
+        for name in GATED_SCALING_POINTS:
+            base_v, cand_v = base_g.get(name), cand_g.get(name)
+            if base_v is None or cand_v is None:
+                continue
+            floor = float(base_v) * SLOTS_PER_SEC_FLOOR
+            verdict = "ok" if float(cand_v) >= floor else "REGRESSED"
+            print(f"{name}: {float(cand_v):.1f} vs floor {floor:.1f} ({verdict})")
+            failed = failed or float(cand_v) < floor
+    else:
+        print(
+            f"\nscaling gate: candidate backend {cand_backend!r} vs baseline "
+            f"{base_backend!r} — skipping p50s, checking JIT speedup"
+        )
+        name = "scaling.ema.u1000.slots_per_sec"
+        base_v, cand_v = base_g.get(name), cand_g.get(name)
+        if base_v is None or cand_v is None:
+            print(f"{name}: missing from baseline or candidate")
+            failed = True
+        else:
+            speedup = float(cand_v) / float(base_v)
+            verdict = "ok" if speedup >= NUMBA_SPEEDUP_FLOOR else "TOO SLOW"
+            print(
+                f"{name}: {speedup:.2f}x vs required "
+                f"{NUMBA_SPEEDUP_FLOOR:.1f}x ({verdict})"
+            )
+            failed = failed or speedup < NUMBA_SPEEDUP_FLOOR
+    if failed:
+        session.exitstatus = 1
+
+
 def pytest_sessionfinish(session, exitstatus):
     if exitstatus != 0:
         return
     _gate(session, "--check", "BENCH_KERNELS_JSON", "BENCH_kernels.json", 0.25)
-    _gate(
-        session,
-        "--check-scaling",
-        "BENCH_SCALING_JSON",
-        "BENCH_scaling.json",
-        0.50,
-    )
+    _gate_scaling(session, 0.50)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -37,8 +37,6 @@ cross-checks it against the brute-force reference in
 
 from __future__ import annotations
 
-from math import isfinite
-
 import numpy as np
 from scipy.ndimage import minimum_filter1d
 
@@ -46,32 +44,10 @@ from repro import constants
 from repro.core.lyapunov import VirtualQueues
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
+from repro.kernels import registry as kernel_registry
 from repro.net.gateway import SlotObservation
 
 __all__ = ["EMAScheduler", "trailing_window_min"]
-
-try:  # pragma: no cover - import plumbing
-    # The DP loop calls the minimum filter once per active user per
-    # slot; the public wrapper's argument validation is measurable at
-    # that call rate.  This invokes the same C routine with the same
-    # arguments the wrapper would pass (axis normalized, mode
-    # pre-encoded), so results are bit-identical; any scipy-internal
-    # change falls back to the public function.
-    from scipy.ndimage import _nd_image as _scipy_nd_image
-    from scipy.ndimage import _ni_support as _scipy_ni_support
-
-    _MODE_CONSTANT = _scipy_ni_support._extend_mode_to_code("constant")
-
-    def _trailing_min_into(shifted, size, origin, out):
-        _scipy_nd_image.min_or_max_filter1d(
-            shifted, size, 0, out, _MODE_CONSTANT, np.inf, origin, 1
-        )
-except Exception:  # pragma: no cover - scipy internals moved
-
-    def _trailing_min_into(shifted, size, origin, out):
-        minimum_filter1d(
-            shifted, size=size, mode="constant", cval=np.inf, origin=origin, output=out
-        )
 
 
 def trailing_window_min(values: np.ndarray, window: int) -> np.ndarray:
@@ -94,6 +70,53 @@ def trailing_window_min(values: np.ndarray, window: int) -> np.ndarray:
     # always within scipy's |origin| <= w//2 limit).
     origin = w - 1 - w // 2
     return minimum_filter1d(shifted, size=w, mode="constant", cval=np.inf, origin=origin)
+
+
+class _EmaScratch:
+    """Preallocated buffers for the per-slot DP kernel call.
+
+    The per-user coefficient vectors are sized once for the fleet; the
+    state-dimension buffers (value-table rows, DP scratch, the float
+    ``arange``) grow monotonically with the largest ``n_states`` seen,
+    so the steady-state slot loop performs no allocations.
+    """
+
+    def __init__(self, n_users: int):
+        self.p = np.empty(n_users, dtype=float)
+        self.rate = np.empty(n_users, dtype=float)
+        self.pc = np.empty(n_users, dtype=float)
+        self.tmp = np.empty(n_users, dtype=float)
+        self.f1 = np.empty(n_users, dtype=float)
+        self.f2 = np.empty(n_users, dtype=float)
+        self.slope = np.empty(n_users, dtype=float)
+        self.const = np.empty(n_users, dtype=float)
+        self.idle = np.empty(n_users, dtype=float)
+        self.useful = np.empty(n_users, dtype=np.int64)
+        self.w_eff = np.empty(n_users, dtype=np.int64)
+        self.origin = np.empty(n_users, dtype=np.int64)
+        self.mask = np.empty(n_users, dtype=bool)
+        self._rows_flat = np.empty(0, dtype=float)
+        self._fscratch = np.empty(0, dtype=float)
+        self._iscratch = np.empty(0, dtype=np.int64)
+        self._m_idx = np.empty(0, dtype=float)
+
+    def dp_buffers(self, n_active: int, n_states: int):
+        """(rows, m_idx, fscratch, iscratch) views sized for this slot."""
+        if self._rows_flat.size < n_active * n_states:
+            self._rows_flat = np.empty(n_active * n_states, dtype=float)
+        if self._fscratch.size < 4 * n_states:
+            self._fscratch = np.empty(4 * n_states, dtype=float)
+        if self._iscratch.size < n_states:
+            self._iscratch = np.empty(n_states, dtype=np.int64)
+        if self._m_idx.size < n_states:
+            self._m_idx = np.arange(n_states, dtype=float)
+        rows = self._rows_flat[: n_active * n_states].reshape(n_active, n_states)
+        return (
+            rows,
+            self._m_idx[:n_states],
+            self._fscratch[: 4 * n_states],
+            self._iscratch[:n_states],
+        )
 
 
 class EMAScheduler(Scheduler):
@@ -162,6 +185,8 @@ class EMAScheduler(Scheduler):
         self.typical_p_mj_per_kb = float(typical_p_mj_per_kb)
         self.queues = VirtualQueues(self.n_users, self.tau_s)
         self._initialized = np.zeros(self.n_users, dtype=bool)
+        self._scratch = _EmaScratch(self.n_users)
+        self._kernel = None
 
     # -- scheduling -----------------------------------------------------------
 
@@ -181,133 +206,82 @@ class EMAScheduler(Scheduler):
         v = self.v_param
         tau = self.tau_s
         delta = obs.delta_kb
-
-        # Per-user transmit cap: link constraint (1), remaining bytes,
-        # and the client's receiver window.
-        useful_units = np.ceil(obs.sendable_kb / delta).astype(np.int64)
-        w_all = np.minimum(obs.link_units, useful_units)
+        n_active = int(active_idx.size)
+        n_states = budget + 1
+        s = self._scratch
 
         # Affine transmit cost f(i, phi) = const_i + slope_i * phi and
         # idle cost f(i, 0) = const_i + V * tail_i, with const_i = PC_i * tau.
-        # The per-user coefficients are precomputed in one vectorised
-        # pass and the DP loop writes into preallocated scratch buffers
-        # (plus one value-table row per user) — same arithmetic, zero
-        # per-user allocations.  The element-wise operation order
-        # mirrors the original expression exactly, so allocations are
-        # bit-identical (guarded by tests/core/test_ema.py's
-        # brute-force cross-check).
-        n_states = budget + 1
-        p_act = obs.p_mj_per_kb[active_idx]
-        rate_act = obs.rate_kbps[active_idx]
-        pc_act = pc[active_idx]
-        const_act = pc_act * tau
-        idle_act = const_act + v * obs.idle_tail_cost_mj[active_idx]
+        # The per-user coefficients are gathered into preallocated
+        # scratch in one vectorised pass with the element-wise operation
+        # order of the original expressions, so the coefficients — and
+        # hence the allocations — are bit-identical (guarded by
+        # tests/core/test_ema.py's brute-force cross-check).
+        p_act = np.take(obs.p_mj_per_kb, active_idx, out=s.p[:n_active])
+        rate_act = np.take(obs.rate_kbps, active_idx, out=s.rate[:n_active])
+        pc_act = np.take(pc, active_idx, out=s.pc[:n_active])
+        const_act = s.const[:n_active]
+        np.multiply(pc_act, tau, out=const_act)
+        idle_act = s.idle[:n_active]
+        np.take(obs.idle_tail_cost_mj, active_idx, out=idle_act)
+        np.multiply(idle_act, v, out=idle_act)
+        np.add(const_act, idle_act, out=idle_act)
+        slope_act = s.slope[:n_active]
+        tmp = s.tmp[:n_active]
         with np.errstate(invalid="ignore"):
             # Lanes with non-finite P produce inf/nan slopes here; they
-            # take the no-tx branch below and never read the slope.
-            slope_act = delta * (v * p_act - pc_act / rate_act)
-        # w_eff = 0 marks the pure no-tx users (zero window or
-        # non-finite reception power); the backtrack never reads their
-        # slope, matching the original inf sentinel.
-        w_act = np.minimum(w_all[active_idx], n_states)
-        w_eff = np.where((w_act > 0) & np.isfinite(p_act), w_act, 0)
-        origin_act = w_eff - 1 - w_eff // 2
-        # Python-scalar mirrors of the coefficient vectors: the DP loop
-        # reads one scalar per user and list indexing is several times
-        # cheaper than NumPy scalar extraction at this call rate.
-        w_list = w_eff.tolist()
-        origin_list = origin_act.tolist()
-        slope_list = slope_act.tolist()
-        const_list = const_act.tolist()
-        idle_list = idle_act.tolist()
+            # take the no-tx branch in the DP and never read the slope.
+            np.multiply(p_act, v, out=slope_act)
+            np.divide(pc_act, rate_act, out=tmp)
+            np.subtract(slope_act, tmp, out=slope_act)
+            np.multiply(slope_act, delta, out=slope_act)
 
-        a_prev = np.zeros(n_states, dtype=float)
-        rows = np.empty((active_idx.size, n_states), dtype=float)
-        m_idx = np.arange(n_states, dtype=float)
-        basis = np.empty(n_states, dtype=float)
-        prod = np.empty(n_states, dtype=float)
-        filt = np.empty(n_states, dtype=float)
-        prod_tail = prod[1:]
-        filt_head = filt[:-1]
+        # Per-user transmit cap: link constraint (1), remaining bytes,
+        # and the client's receiver window.  w_eff = 0 marks the pure
+        # no-tx users (zero window or non-finite reception power); the
+        # backtrack never reads their slope.
+        sendable = np.take(obs.remaining_kb, active_idx, out=s.f1[:n_active])
+        recv = np.take(obs.receivable_kb, active_idx, out=s.f2[:n_active])
+        np.minimum(sendable, recv, out=sendable)
+        np.divide(sendable, delta, out=sendable)
+        np.ceil(sendable, out=sendable)
+        useful = s.useful[:n_active]
+        np.copyto(useful, sendable, casting="unsafe")
+        w_eff = s.w_eff[:n_active]
+        np.take(obs.link_units, active_idx, out=w_eff)
+        np.minimum(w_eff, useful, out=w_eff)
+        np.minimum(w_eff, n_states, out=w_eff)
+        mask = s.mask[:n_active]
+        np.isfinite(p_act, out=mask)
+        np.logical_not(mask, out=mask)
+        np.copyto(w_eff, 0, where=mask)
+        origin_act = s.origin[:n_active]
+        np.floor_divide(w_eff, 2, out=origin_act)
+        np.subtract(w_eff, origin_act, out=origin_act)
+        np.subtract(origin_act, 1, out=origin_act)
 
-        for k in range(active_idx.size):
-            idle = idle_list[k]
-            a_cur = rows[k]
-            w = w_list[k]
-            if w == 0:
-                np.add(a_prev, idle, out=a_cur)  # no-tx only
-            else:
-                slope = slope_list[k]
-                # basis = a_prev - slope * m_idx
-                np.multiply(m_idx, slope, out=prod)
-                np.subtract(a_prev, prod, out=basis)
-                # trailing_window_min(basis, w) = filt[M-1] with filt
-                # the size-w window ending *at* M — one origin shift
-                # instead of the copy into a prepended-inf buffer.
-                _trailing_min_into(basis, w, origin_list[k], filt)
-                # tx = const + slope * m_idx + twm, with twm[0] = +inf
-                # (empty trailing window) and twm[1:] = filt[:-1].
-                np.add(prod, const_list[k], out=prod)
-                np.add(prod_tail, filt_head, out=prod_tail)
-                prod[0] = np.inf
-                # a_cur = min(no_tx, tx) with no_tx = a_prev + idle
-                np.add(a_prev, idle, out=a_cur)
-                np.minimum(a_cur, prod, out=a_cur)
-            a_prev = a_cur
-
-        # Step 15: best total unit count, then backtrack per user.
-        m_star = int(np.argmin(a_prev))
-        self._backtrack(
-            phi, rows, active_idx, slope_list, const_list, idle_list, w_list, m_star
+        # One fused kernel call: DP forward pass + trailing-window min
+        # + backtrack (Steps 6-15 of Algorithm 2).  The DP uses "total
+        # units *at most* M" semantics (the level-0 predecessor is
+        # identically zero), so leftover capacity after the backtrack is
+        # simply unused budget.
+        rows, m_idx, fscratch, iscratch = s.dp_buffers(n_active, n_states)
+        if self._kernel is None:
+            self._kernel = kernel_registry.resolve("ema_dp")
+        self._kernel(
+            phi,
+            active_idx,
+            w_eff,
+            origin_act,
+            slope_act,
+            const_act,
+            idle_act,
+            rows,
+            m_idx,
+            fscratch,
+            iscratch,
         )
         return phi
-
-    @staticmethod
-    def _backtrack(
-        phi: np.ndarray,
-        rows: np.ndarray,
-        active_idx: np.ndarray,
-        slope_list: list[float],
-        const_list: list[float],
-        idle_list: list[float],
-        w_list: list[int],
-        m_star: int,
-    ) -> None:
-        """Recover per-user allocations from the DP value tables.
-
-        ``rows`` is the ``(n_active, n_states)`` value-table matrix (one
-        row per DP level); the coefficient lists are indexed by level.
-        The DP uses "total units *at most* M" semantics (the level-0
-        predecessor is identically zero), so leftover capacity at the
-        end of the backtrack is simply unused budget.  The argmin over
-        ``phi_i`` is re-derived at the chosen capacity point only —
-        O(w_i) vectorised work per user instead of storing the full
-        ``g(i, M)`` table of Algorithm 2.
-        """
-        if len(rows) == 0:
-            return
-        zeros_row = np.zeros_like(rows[0])
-        cands_all = np.arange(1, zeros_row.size)
-        affine = np.empty(zeros_row.size - 1, dtype=float)
-        vals = np.empty(zeros_row.size - 1, dtype=float)
-        m = m_star
-        for level in range(len(rows) - 1, -1, -1):
-            w_here = min(w_list[level], m)
-            if w_here <= 0 or not isfinite(slope := slope_list[level]):
-                continue  # phi stays 0, m unchanged
-            a_prev = rows[level - 1] if level > 0 else zeros_row
-            best_val = float(a_prev[m]) + idle_list[level]
-            # vals[j] = a_prev[m - (j+1)] + const + slope * (j+1):
-            # the fancy index a_prev[m - cands] is a reversed slice.
-            v_here = vals[:w_here]
-            np.multiply(cands_all[:w_here], slope, out=affine[:w_here])
-            np.add(a_prev[m - w_here : m][::-1], const_list[level], out=v_here)
-            np.add(v_here, affine[:w_here], out=v_here)
-            j = int(v_here.argmin())
-            if v_here[j] < best_val - 1e-12:
-                best_phi = j + 1
-                phi[active_idx[level]] = best_phi
-                m -= best_phi
 
     def _seed_queues(self, obs: SlotObservation) -> None:
         """Apply the place-holder backlog at each user's first active slot."""
@@ -346,3 +320,7 @@ class EMAScheduler(Scheduler):
     def reset(self) -> None:
         self.queues.reset()
         self._initialized = np.zeros(self.n_users, dtype=bool)
+        # Re-resolve on next allocate so an ambient use_backend() block
+        # entered after construction (the engine's cfg.kernel_backend)
+        # governs the kernel choice.
+        self._kernel = None

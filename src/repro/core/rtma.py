@@ -24,6 +24,7 @@ import numpy as np
 from repro import constants
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
+from repro.kernels import registry as kernel_registry
 from repro.net.gateway import SlotObservation
 from repro.radio.power import EnviPowerModel
 
@@ -117,50 +118,60 @@ class RTMAScheduler(Scheduler):
             )
         else:
             self.sig_threshold_dbm = float("-inf")
+        self._scratch: dict | None = None
+        self._kernel = None
+
+    def _buffers(self, n_users: int) -> dict:
+        s = self._scratch
+        if s is None or s["need"].size != n_users:
+            s = {
+                "eligible": np.empty(n_users, dtype=bool),
+                "b_tmp": np.empty(n_users, dtype=bool),
+                "need": np.empty(n_users, dtype=np.int64),
+                "cap": np.empty(n_users, dtype=np.int64),
+                "f_tmp": np.empty(n_users, dtype=float),
+            }
+            self._scratch = s
+        return s
 
     def allocate(self, obs: SlotObservation) -> np.ndarray:
         phi = self._zeros(obs)
-        eligible = (
-            obs.active
-            & (obs.sig_dbm >= self.sig_threshold_dbm)
-            & (obs.link_units > 0)
-        )
+        s = self._buffers(obs.n_users)
+        eligible = s["eligible"]
+        np.greater_equal(obs.sig_dbm, self.sig_threshold_dbm, out=eligible)
+        np.logical_and(eligible, obs.active, out=eligible)
+        np.greater(obs.link_units, 0, out=s["b_tmp"])
+        np.logical_and(eligible, s["b_tmp"], out=eligible)
         if not np.any(eligible) or obs.unit_budget <= 0:
             return phi
 
         # Step 3: one-slot need, ceil(tau * p_i / delta), at least 1 unit.
-        need = np.ceil(obs.tau_s * obs.rate_kbps / obs.delta_kb).astype(np.int64)
-        need = np.maximum(need, 1)
+        f = s["f_tmp"]
+        need = s["need"]
+        np.multiply(obs.rate_kbps, obs.tau_s, out=f)
+        np.divide(f, obs.delta_kb, out=f)
+        np.ceil(f, out=f)
+        np.copyto(need, f, casting="unsafe")
+        np.maximum(need, 1, out=need)
         # Never allocate past the end of the video or the receiver window.
-        useful_units = np.ceil(obs.sendable_kb / obs.delta_kb).astype(np.int64)
-        per_user_cap = np.minimum(obs.link_units, useful_units)
+        cap = s["cap"]
+        np.minimum(obs.remaining_kb, obs.receivable_kb, out=f)
+        np.divide(f, obs.delta_kb, out=f)
+        np.ceil(f, out=f)
+        np.copyto(cap, f, casting="unsafe")
+        np.minimum(obs.link_units, cap, out=cap)
 
-        # Steps 1-2: ascending required data rate (stable for ties).
+        # Steps 1-2: ascending required data rate (stable for ties);
+        # steps 4-15: rounds of at-most-phi_need grants in sorted order,
+        # dispatched to the active kernel backend.
         order = np.argsort(obs.rate_kbps, kind="stable")
-        budget = int(obs.unit_budget)
-
-        # Steps 4-15: rounds of at-most-phi_need grants in sorted order.
-        while budget > 0:
-            headroom = per_user_cap - phi
-            take = np.minimum(need, headroom)
-            take[~eligible] = 0
-            np.maximum(take, 0, out=take)
-            if not take.any():
-                break
-            # Grant in ascending-rate order under the remaining budget —
-            # identical to the sequential inner loop of Algorithm 1.
-            take_sorted = take[order]
-            cum = np.cumsum(take_sorted)
-            grant_sorted = np.where(
-                cum <= budget,
-                take_sorted,
-                np.maximum(budget - (cum - take_sorted), 0),
-            )
-            grant = np.empty_like(grant_sorted)
-            grant[order] = grant_sorted
-            granted = int(grant.sum())
-            if granted == 0:
-                break
-            phi += grant
-            budget -= granted
+        if self._kernel is None:
+            self._kernel = kernel_registry.resolve("rtma_rounds")
+        self._kernel(phi, eligible, need, cap, order, int(obs.unit_budget))
         return phi
+
+    def reset(self) -> None:
+        # Re-resolve on next allocate so an ambient use_backend() block
+        # entered after construction (the engine's cfg.kernel_backend)
+        # governs the kernel choice.
+        self._kernel = None

@@ -1,0 +1,55 @@
+"""Compiled kernel backend for the simulation hot path.
+
+``repro.kernels`` hosts the four hot kernel families (EMA DP, RTMA
+rounds, fleet playback/delivery, RRC tail step) behind a dispatch
+registry that selects, per kernel, between the vectorised NumPy
+reference implementations and Numba ``@njit(cache=True)`` JIT kernels
+— plus the interpreted ``python`` pseudo-backend that runs the numba
+loop source unjitted for bit-identity testing without Numba.
+
+See :mod:`repro.kernels.backend` for selection precedence
+(``use_backend`` / ``set_backend`` / ``$REPRO_KERNEL_BACKEND`` /
+``auto``) and :mod:`repro.kernels.registry` for dispatch.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.arena import SlotArena
+from repro.kernels.backend import (
+    BACKEND_CHOICES,
+    ENV_VAR,
+    NUMBA_AVAILABLE,
+    available_backends,
+    backend_info,
+    compile_times,
+    numba_version,
+    requested_backend,
+    resolved_backend,
+    set_backend,
+    use_backend,
+)
+from repro.kernels.registry import kernel_names, register, resolve
+
+# Importing the kernel modules registers their implementations.
+from repro.kernels import ema_dp as _ema_dp  # noqa: E402,F401
+from repro.kernels import fleet_step as _fleet_step  # noqa: E402,F401
+from repro.kernels import rrc_step as _rrc_step  # noqa: E402,F401
+from repro.kernels import rtma_rounds as _rtma_rounds  # noqa: E402,F401
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "ENV_VAR",
+    "NUMBA_AVAILABLE",
+    "SlotArena",
+    "available_backends",
+    "backend_info",
+    "compile_times",
+    "kernel_names",
+    "numba_version",
+    "register",
+    "requested_backend",
+    "resolve",
+    "resolved_backend",
+    "set_backend",
+    "use_backend",
+]

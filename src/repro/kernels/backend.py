@@ -1,0 +1,209 @@
+"""Kernel backend selection: numpy, numba, or interpreted python loops.
+
+Three implementations may exist for each hot kernel:
+
+* ``numpy`` — the vectorised reference implementation, always present;
+* ``numba`` — the nopython-loop implementation JIT-compiled with
+  ``@numba.njit(cache=True)``; present only when Numba is importable
+  (the ``repro[speed]`` extra — **never** a hard dependency);
+* ``python`` — the *same* loop source as the numba kernel, run by the
+  interpreter.  Slow, but it lets the equivalence suites exercise the
+  numba code path bit-for-bit on machines without Numba, and it is the
+  first place to debug a kernel discrepancy.
+
+The active backend is resolved per call to :func:`resolved_backend`
+with this precedence:
+
+1. the innermost :func:`use_backend` ambient context (how
+   ``SimConfig.kernel_backend`` is applied by the engine);
+2. the process-wide :func:`set_backend` override;
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. ``"auto"`` — numba when available, else numpy.
+
+Requesting ``numba`` when Numba is missing degrades to numpy, but not
+silently: a one-time ``repro.kernels`` log warning is emitted and a
+``kernels.backend_fallback`` counter is incremented on the ambient
+instrumentation bundle (when one is active).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "numba_version",
+    "available_backends",
+    "use_backend",
+    "set_backend",
+    "requested_backend",
+    "resolved_backend",
+    "maybe_njit",
+    "backend_info",
+    "record_compile_time",
+    "compile_times",
+]
+
+#: Environment variable consulted when no explicit backend is set.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Every name a caller may request.
+BACKEND_CHOICES = ("auto", "numpy", "numba", "python")
+
+log = logging.getLogger("repro.kernels")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the numpy-only environment
+    _numba = None
+    NUMBA_AVAILABLE = False
+
+
+def numba_version() -> str | None:
+    """The installed Numba version, or ``None`` when not importable."""
+    return _numba.__version__ if NUMBA_AVAILABLE else None
+
+
+def maybe_njit(fn: Callable) -> Callable | None:
+    """``numba.njit(cache=True)`` of ``fn``, or ``None`` without Numba."""
+    if not NUMBA_AVAILABLE:
+        return None
+    return _numba.njit(cache=True)(fn)  # pragma: no cover - needs numba
+
+
+def available_backends() -> tuple[str, ...]:
+    """The selectable backends on this interpreter, fastest first."""
+    if NUMBA_AVAILABLE:  # pragma: no cover - needs numba
+        return ("numba", "numpy", "python")
+    return ("numpy", "python")
+
+
+_AMBIENT: list[str] = []
+_GLOBAL: str | None = None
+_warned_fallback = False
+
+#: name -> seconds spent in the kernel's first (compiling) numba call.
+_COMPILE_TIMES: dict[str, float] = {}
+
+
+def _validate(name: str) -> str:
+    if name not in BACKEND_CHOICES:
+        raise ConfigurationError(
+            f"kernel backend must be one of {BACKEND_CHOICES}, got {name!r}"
+        )
+    return name
+
+
+def set_backend(name: str | None) -> None:
+    """Process-wide backend override (``None`` clears it)."""
+    global _GLOBAL
+    _GLOBAL = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Make ``name`` the kernel backend for the dynamic extent of the block.
+
+    This is how the engine applies ``SimConfig.kernel_backend``: the
+    fleet, RRC machinery, and schedulers all resolve their kernels
+    inside ``run()``, so the config's choice wins over the environment
+    without mutating process state.
+    """
+    _AMBIENT.append(_validate(name))
+    try:
+        yield name
+    finally:
+        _AMBIENT.pop()
+
+
+def requested_backend() -> str:
+    """The backend the caller asked for, before availability fallback."""
+    if _AMBIENT:
+        return _AMBIENT[-1]
+    if _GLOBAL is not None:
+        return _GLOBAL
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return "auto"
+
+
+def _warn_missing_numba(requested: str) -> None:
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    log.warning(
+        "kernel backend %r requested (%s) but Numba is not importable; "
+        "falling back to the numpy backend. Install the speed extra "
+        "(pip install 'repro[speed]') for the JIT kernels.",
+        requested,
+        f"${ENV_VAR}" if os.environ.get(ENV_VAR) else "config",
+    )
+    # Surface the degradation in the run's metrics as well, when a
+    # registry is ambient — repro-compare flags the counter appearing.
+    from repro.obs.instrument import current_instrumentation
+
+    instr = current_instrumentation()
+    if instr is not None:
+        instr.metrics.counter("kernels.backend_fallback").inc()
+
+
+def resolved_backend() -> str:
+    """The backend that will actually execute: requested + availability."""
+    requested = requested_backend()
+    if requested == "auto":
+        return "numba" if NUMBA_AVAILABLE else "numpy"
+    if requested == "numba" and not NUMBA_AVAILABLE:
+        _warn_missing_numba(requested)
+        return "numpy"
+    return requested
+
+
+def record_compile_time(name: str, seconds: float) -> None:
+    """Record a kernel's first-call (compile) wall time, once."""
+    _COMPILE_TIMES.setdefault(name, float(seconds))
+
+
+def compile_times() -> dict[str, float]:
+    """Per-kernel first-call compile times observed this process (s)."""
+    return dict(_COMPILE_TIMES)
+
+
+def backend_info() -> dict[str, Any]:
+    """Provenance record: what was requested, what runs, and JIT costs.
+
+    Lands in run manifests (:func:`repro.obs.provenance.build_manifest`)
+    and the engine's metrics so every artifact names its backend.
+    """
+    return {
+        "requested": requested_backend(),
+        "resolved": resolved_backend(),
+        "available": list(available_backends()),
+        "numba_version": numba_version(),
+        "compile_times_s": compile_times(),
+    }
+
+
+def time_first_call(name: str, fn: Callable, *args) -> Any:
+    """Call ``fn`` and record the wall time as ``name``'s compile time."""
+    t0 = perf_counter()
+    out = fn(*args)
+    record_compile_time(name, perf_counter() - t0)
+    return out
+
+
+def _reset_for_testing() -> None:
+    """Clear overrides and the one-time-warning latch (tests only)."""
+    global _GLOBAL, _warned_fallback
+    _GLOBAL = None
+    _warned_fallback = False
+    _AMBIENT.clear()

@@ -1,0 +1,331 @@
+"""ClientFleet slot kernels: playback advance (Eqs. 7-8) and delivery.
+
+Both kernels are pure array -> array state transitions: they read the
+fleet's *current* state arrays and write the engine-owned *alternate*
+buffers (:class:`repro.media.fleet.ClientFleet` double-buffers its
+mutable state and swaps bindings after each successful kernel call, so
+the "state arrays are rebound, never mutated in place" aliasing
+contract survives unchanged).
+
+``cap_s`` is the buffer capacity in seconds with ``+inf`` standing for
+"uncapped" — ``min(x, inf) == x`` bit-for-bit, so the capped and
+uncapped forms share one code path.
+
+``fleet_deliver`` returns a nonzero error code instead of raising (the
+class raises :class:`repro.errors.SimulationError` *before* swapping
+buffers, leaving state untouched); a delivery with a non-positive
+bitrate is the only error case.
+
+The numpy implementations repeat the PR 3 vectorised arithmetic as an
+explicit out=-chain; the loop implementations mirror it lane by lane.
+Scratch layout: ``fscratch`` >= 2n float64, ``bscratch`` >= 4n bool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import register
+
+__all__ = [
+    "fleet_begin_slot_numpy",
+    "fleet_begin_slot_loops",
+    "fleet_deliver_numpy",
+    "fleet_deliver_loops",
+]
+
+_EPS = 1e-9
+
+
+def fleet_begin_slot_numpy(
+    slot,
+    tau_s,
+    cap_s,
+    arrival_slot,
+    size_kb,
+    delivered_kb,
+    delivered_playback_s,
+    occ_in,
+    pend_in,
+    began_in,
+    elapsed_in,
+    total_in,
+    occ_out,
+    pend_out,
+    began_out,
+    elapsed_out,
+    total_out,
+    rebuf_out,
+    fscratch,
+    bscratch,
+):
+    n = arrival_slot.shape[0]
+    arrived = bscratch[0:n]
+    mask = bscratch[n : 2 * n]
+    fully = bscratch[2 * n : 3 * n]
+    playing = bscratch[3 * n : 4 * n]
+    played = fscratch[0:n]
+    media_left = fscratch[n : 2 * n]
+
+    np.less_equal(arrival_slot, slot, out=arrived)
+    # Eq. (7): drain one slot of playback, add last slot's arrivals.
+    np.subtract(occ_in, tau_s, out=occ_out)
+    np.maximum(occ_out, 0.0, out=occ_out)
+    np.add(occ_out, pend_in, out=occ_out)
+    np.minimum(occ_out, cap_s, out=occ_out)
+    np.logical_not(arrived, out=mask)
+    np.copyto(occ_out, occ_in, where=mask)
+    np.copyto(pend_out, pend_in)
+    np.copyto(pend_out, 0.0, where=arrived)
+    np.logical_or(began_in, arrived, out=began_out)
+    # playing = arrived & ~(fully_delivered & all media played out)
+    np.subtract(size_kb, _EPS, out=played)
+    np.greater_equal(delivered_kb, played, out=fully)
+    np.subtract(delivered_playback_s, _EPS, out=played)
+    np.greater_equal(elapsed_in, played, out=playing)
+    np.logical_and(playing, fully, out=playing)
+    np.logical_not(playing, out=playing)
+    np.logical_and(playing, arrived, out=playing)
+    # Eq. (8): stall for whatever part of the slot the buffer can't cover.
+    np.subtract(tau_s, occ_out, out=rebuf_out)
+    np.maximum(rebuf_out, 0.0, out=rebuf_out)
+    np.logical_not(playing, out=mask)
+    np.copyto(rebuf_out, 0.0, where=mask)
+    np.subtract(tau_s, rebuf_out, out=played)
+    np.copyto(played, 0.0, where=mask)
+    # Clamp playback to the media actually delivered; the tail of the
+    # stream neither plays nor stalls once everything is delivered.
+    np.subtract(delivered_playback_s, elapsed_in, out=media_left)
+    over = mask
+    np.greater(played, media_left, out=over)
+    np.logical_and(over, playing, out=over)
+    np.maximum(media_left, 0.0, out=media_left)
+    np.copyto(played, media_left, where=over)
+    np.logical_and(over, fully, out=over)
+    np.copyto(rebuf_out, 0.0, where=over)
+    np.add(elapsed_in, played, out=elapsed_out)
+    np.add(total_in, rebuf_out, out=total_out)
+    return 0
+
+
+def fleet_begin_slot_loops(
+    slot,
+    tau_s,
+    cap_s,
+    arrival_slot,
+    size_kb,
+    delivered_kb,
+    delivered_playback_s,
+    occ_in,
+    pend_in,
+    began_in,
+    elapsed_in,
+    total_in,
+    occ_out,
+    pend_out,
+    began_out,
+    elapsed_out,
+    total_out,
+    rebuf_out,
+    fscratch,
+    bscratch,
+):
+    n = arrival_slot.shape[0]
+    for i in range(n):
+        arrived = arrival_slot[i] <= slot
+        occ = occ_in[i] - tau_s
+        if occ < 0.0:
+            occ = 0.0
+        occ = occ + pend_in[i]
+        if not occ < cap_s:
+            occ = cap_s
+        if not arrived:
+            occ = occ_in[i]
+        occ_out[i] = occ
+        pend_out[i] = 0.0 if arrived else pend_in[i]
+        began_out[i] = began_in[i] or arrived
+        fully = delivered_kb[i] >= size_kb[i] - _EPS
+        complete = fully and elapsed_in[i] >= delivered_playback_s[i] - _EPS
+        playing = arrived and not complete
+        if playing:
+            rebuf = tau_s - occ
+            if rebuf < 0.0:
+                rebuf = 0.0
+            played = tau_s - rebuf
+        else:
+            rebuf = 0.0
+            played = 0.0
+        media_left = delivered_playback_s[i] - elapsed_in[i]
+        if playing and played > media_left:
+            played = media_left if media_left > 0.0 else 0.0
+            if fully:
+                rebuf = 0.0
+        elapsed_out[i] = elapsed_in[i] + played
+        total_out[i] = total_in[i] + rebuf
+        rebuf_out[i] = rebuf
+    return 0
+
+
+def fleet_deliver_numpy(
+    tau_s,
+    cap_s,
+    offer_kb,
+    rates,
+    size_kb,
+    delivered_in,
+    dplay_in,
+    occ_s,
+    pend_in,
+    delivered_out,
+    dplay_out,
+    pend_out,
+    accepted_out,
+    fscratch,
+    bscratch,
+):
+    n = offer_kb.shape[0]
+    scratch = fscratch[0:n]
+    recv = fscratch[n : 2 * n]
+    m1 = bscratch[0:n]
+    m2 = bscratch[n : 2 * n]
+    np.subtract(size_kb, delivered_in, out=scratch)
+    np.maximum(scratch, 0.0, out=scratch)
+    np.minimum(offer_kb, scratch, out=accepted_out)
+    if cap_s != np.inf:
+        # Receiver window: seconds of buffer headroom after this slot's
+        # drain, scaled by the stream bitrate (Eq. 7 capacity clamp).
+        np.subtract(occ_s, tau_s, out=recv)
+        np.maximum(recv, 0.0, out=recv)
+        np.subtract(cap_s, recv, out=recv)
+        np.subtract(recv, pend_in, out=recv)
+        np.less_equal(recv, 0.0, out=m1)
+        np.multiply(recv, rates, out=recv)
+        np.copyto(recv, 0.0, where=m1)
+        np.minimum(accepted_out, recv, out=accepted_out)
+    np.less_equal(accepted_out, 0.0, out=m1)
+    np.copyto(accepted_out, 0.0, where=m1)
+    np.greater(accepted_out, 0.0, out=m1)
+    np.less_equal(rates, 0.0, out=m2)
+    np.logical_and(m1, m2, out=m1)
+    if m1.any():
+        return 1  # delivering at a non-positive bitrate
+    np.divide(accepted_out, rates, out=scratch)
+    np.add(delivered_in, accepted_out, out=delivered_out)
+    np.add(dplay_in, scratch, out=dplay_out)
+    np.add(pend_in, scratch, out=pend_out)
+    return 0
+
+
+def fleet_deliver_loops(
+    tau_s,
+    cap_s,
+    offer_kb,
+    rates,
+    size_kb,
+    delivered_in,
+    dplay_in,
+    occ_s,
+    pend_in,
+    delivered_out,
+    dplay_out,
+    pend_out,
+    accepted_out,
+    fscratch,
+    bscratch,
+):
+    n = offer_kb.shape[0]
+    capped = cap_s != np.inf
+    for i in range(n):
+        rem = size_kb[i] - delivered_in[i]
+        if rem < 0.0:
+            rem = 0.0
+        a = offer_kb[i]
+        if rem < a:
+            a = rem
+        if capped:
+            carried = occ_s[i] - tau_s
+            if carried < 0.0:
+                carried = 0.0
+            headroom_s = (cap_s - carried) - pend_in[i]
+            recv = 0.0 if headroom_s <= 0.0 else headroom_s * rates[i]
+            if recv < a:
+                a = recv
+        if not a > 0.0:
+            a = 0.0
+        if a > 0.0 and rates[i] <= 0.0:
+            return 1
+        accepted_out[i] = a
+    for i in range(n):
+        a = accepted_out[i]
+        duration = a / rates[i]
+        delivered_out[i] = delivered_in[i] + a
+        dplay_out[i] = dplay_in[i] + duration
+        pend_out[i] = pend_in[i] + duration
+    return 0
+
+
+def _f8(*vals):
+    return np.array(vals, dtype=float)
+
+
+def _warmup_begin(fn):
+    """Specialise begin_slot on a two-user instance (one not yet arrived)."""
+    n = 2
+    fn(
+        np.int64(0),
+        1.0,
+        np.inf,
+        np.array([0, 5], dtype=np.int64),
+        _f8(100.0, 100.0),
+        _f8(10.0, 0.0),
+        _f8(2.0, 0.0),
+        _f8(1.0, 0.0),
+        _f8(0.5, 0.0),
+        np.zeros(n, dtype=np.bool_),
+        _f8(0.0, 0.0),
+        _f8(0.0, 0.0),
+        np.empty(n),
+        np.empty(n),
+        np.empty(n, dtype=np.bool_),
+        np.empty(n),
+        np.empty(n),
+        np.empty(n),
+        np.empty(2 * n),
+        np.empty(4 * n, dtype=np.bool_),
+    )
+
+
+def _warmup_deliver(fn):
+    """Specialise deliver on a two-user instance."""
+    n = 2
+    fn(
+        1.0,
+        30.0,
+        _f8(5.0, 0.0),
+        _f8(100.0, 100.0),
+        _f8(100.0, 100.0),
+        _f8(10.0, 0.0),
+        _f8(2.0, 0.0),
+        _f8(1.0, 0.0),
+        _f8(0.5, 0.0),
+        np.empty(n),
+        np.empty(n),
+        np.empty(n),
+        np.empty(n),
+        np.empty(2 * n),
+        np.empty(2 * n, dtype=np.bool_),
+    )
+
+
+register(
+    "fleet_begin_slot",
+    numpy=fleet_begin_slot_numpy,
+    python=fleet_begin_slot_loops,
+    warmup=_warmup_begin,
+)
+register(
+    "fleet_deliver",
+    numpy=fleet_deliver_numpy,
+    python=fleet_deliver_loops,
+    warmup=_warmup_deliver,
+)

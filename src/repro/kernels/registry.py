@@ -1,0 +1,88 @@
+"""Kernel dispatch registry.
+
+Each hot kernel registers a *numpy* implementation (the vectorised
+reference) and a *python* implementation (the nopython-compatible loop
+body).  :func:`resolve` returns the callable for the active backend;
+for ``"numba"`` the python implementation is JIT-compiled on first
+resolution, warmed up on tiny inputs so the compile cost is paid (and
+recorded, see :func:`repro.kernels.backend.compile_times`) outside the
+simulation hot loop.
+
+All implementations of a kernel share one signature and are
+bit-identical on the same inputs — the contract enforced by
+``tests/kernels/`` and the integration backend-equivalence suite.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.kernels import backend as _backend
+
+__all__ = ["register", "resolve", "kernel_names"]
+
+#: name -> {"numpy": fn, "python": fn, "warmup": fn | None}
+_KERNELS: dict[str, dict] = {}
+
+#: name -> compiled-and-warmed numba dispatcher.
+_NUMBA_COMPILED: dict[str, Callable] = {}
+
+
+def register(
+    name: str,
+    *,
+    numpy: Callable,
+    python: Callable,
+    warmup: Callable | None = None,
+) -> None:
+    """Register a kernel's backend implementations.
+
+    ``warmup`` is called with the (possibly JIT-compiled) python
+    implementation and must invoke it once on minimal arrays of the
+    real dtypes, forcing Numba to specialise the production signature.
+    """
+    if name in _KERNELS:
+        raise ConfigurationError(f"kernel {name!r} registered twice")
+    _KERNELS[name] = {"numpy": numpy, "python": python, "warmup": warmup}
+
+
+def kernel_names() -> tuple[str, ...]:
+    """All registered kernel names (sorted)."""
+    return tuple(sorted(_KERNELS))
+
+
+def resolve(name: str, backend: str | None = None) -> Callable:
+    """The implementation of ``name`` for ``backend``.
+
+    ``backend=None`` uses :func:`repro.kernels.backend.resolved_backend`
+    — callers cache the result per run and re-resolve after a reset so
+    an ambient :func:`~repro.kernels.backend.use_backend` block governs.
+    """
+    entry = _KERNELS.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; registered: {kernel_names()}"
+        )
+    if backend is None:
+        backend = _backend.resolved_backend()
+    if backend == "numpy":
+        return entry["numpy"]
+    if backend == "python":
+        return entry["python"]
+    if backend == "numba":
+        fn = _NUMBA_COMPILED.get(name)
+        if fn is None:
+            fn = _backend.maybe_njit(entry["python"])
+            if fn is None:  # requested numba explicitly on a numpy-only host
+                return entry["numpy"]
+            t0 = perf_counter()
+            if entry["warmup"] is not None:
+                entry["warmup"](fn)
+            _backend.record_compile_time(name, perf_counter() - t0)
+            _NUMBA_COMPILED[name] = fn
+        return fn
+    raise ConfigurationError(
+        f"kernel backend must be numpy, numba, or python, got {backend!r}"
+    )

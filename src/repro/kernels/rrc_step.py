@@ -1,0 +1,183 @@
+"""RRCFleet kernels: per-slot state/tail step and idle-cost preview.
+
+The per-slot tail increment is the difference of the Eq. (4) closed
+form at the idle ages bracketing the slot (see :mod:`repro.radio.tail`)
+— ``pd*min(t, T1) + pf*clip(t - T1, 0, T2)`` — evaluated per device
+and zeroed for transmitting or never-promoted devices.
+
+``rrc_step`` reads the fleet's current ``(idle_age, ever_transmitted)``
+arrays and writes the alternate buffers plus the slot's tail vector
+(:class:`repro.radio.rrc.RRCFleet` swaps bindings afterwards);
+``rrc_idle_cost`` is the side-effect-free preview EMA uses to price the
+``phi_i = 0`` branch of Eq. (5).
+
+Scratch layout: ``fscratch`` >= 2n float64, ``bscratch`` >= n bool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import register
+
+__all__ = [
+    "rrc_step_numpy",
+    "rrc_step_loops",
+    "rrc_idle_cost_numpy",
+    "rrc_idle_cost_loops",
+]
+
+
+def _tail_into(t, pd_mw, pf_mw, t1_s, t2_s, out, tmp):
+    """Eq. (4) with the exact ufunc chain of ``tail_energy_mj``."""
+    np.minimum(t, t1_s, out=out)
+    np.multiply(out, pd_mw, out=out)
+    np.subtract(t, t1_s, out=tmp)
+    np.maximum(tmp, 0.0, out=tmp)
+    np.minimum(tmp, t2_s, out=tmp)
+    np.multiply(tmp, pf_mw, out=tmp)
+    np.add(out, tmp, out=out)
+
+
+def rrc_step_numpy(
+    dt_s, pd_mw, pf_mw, t1_s, t2_s, tx, age_in, ever_in, age_out, ever_out, tail_out, fscratch, bscratch
+):
+    n = tx.shape[0]
+    before = fscratch[0:n]
+    tmp = fscratch[n : 2 * n]
+    mask = bscratch[0:n]
+    _tail_into(age_in, pd_mw, pf_mw, t1_s, t2_s, before, tmp)
+    np.add(age_in, dt_s, out=age_out)
+    _tail_into(age_out, pd_mw, pf_mw, t1_s, t2_s, tail_out, tmp)
+    np.subtract(tail_out, before, out=tail_out)
+    np.logical_not(ever_in, out=mask)
+    np.logical_or(mask, tx, out=mask)
+    np.copyto(tail_out, 0.0, where=mask)
+    np.copyto(age_out, 0.0, where=tx)
+    np.logical_or(ever_in, tx, out=ever_out)
+    return 0
+
+
+def rrc_step_loops(
+    dt_s, pd_mw, pf_mw, t1_s, t2_s, tx, age_in, ever_in, age_out, ever_out, tail_out, fscratch, bscratch
+):
+    n = tx.shape[0]
+    for i in range(n):
+        t0 = age_in[i]
+        t1 = t0 + dt_s
+        if tx[i] or not ever_in[i]:
+            tail_out[i] = 0.0
+        else:
+            a = t0 if t0 < t1_s else t1_s
+            x = t0 - t1_s
+            if x < 0.0:
+                x = 0.0
+            if x > t2_s:
+                x = t2_s
+            before = a * pd_mw + x * pf_mw
+            a = t1 if t1 < t1_s else t1_s
+            x = t1 - t1_s
+            if x < 0.0:
+                x = 0.0
+            if x > t2_s:
+                x = t2_s
+            tail_out[i] = (a * pd_mw + x * pf_mw) - before
+        age_out[i] = 0.0 if tx[i] else t1
+        ever_out[i] = ever_in[i] or tx[i]
+    return 0
+
+
+def rrc_idle_cost_numpy(
+    dt_s, pd_mw, pf_mw, t1_s, t2_s, age, ever, out, fscratch, bscratch
+):
+    n = age.shape[0]
+    before = fscratch[0:n]
+    tmp = fscratch[n : 2 * n]
+    mask = bscratch[0:n]
+    _tail_into(age, pd_mw, pf_mw, t1_s, t2_s, before, tmp)
+    np.add(age, dt_s, out=out)
+    # `out` momentarily holds age+dt; overwrite it with tail(age+dt).
+    np.minimum(out, t1_s, out=tmp)
+    np.multiply(tmp, pd_mw, out=tmp)
+    np.subtract(out, t1_s, out=out)
+    np.maximum(out, 0.0, out=out)
+    np.minimum(out, t2_s, out=out)
+    np.multiply(out, pf_mw, out=out)
+    np.add(tmp, out, out=out)
+    np.subtract(out, before, out=out)
+    np.logical_not(ever, out=mask)
+    np.copyto(out, 0.0, where=mask)
+    return 0
+
+
+def rrc_idle_cost_loops(
+    dt_s, pd_mw, pf_mw, t1_s, t2_s, age, ever, out, fscratch, bscratch
+):
+    n = age.shape[0]
+    for i in range(n):
+        if not ever[i]:
+            out[i] = 0.0
+            continue
+        t0 = age[i]
+        t1 = t0 + dt_s
+        a = t0 if t0 < t1_s else t1_s
+        x = t0 - t1_s
+        if x < 0.0:
+            x = 0.0
+        if x > t2_s:
+            x = t2_s
+        before = a * pd_mw + x * pf_mw
+        a = t1 if t1 < t1_s else t1_s
+        x = t1 - t1_s
+        if x < 0.0:
+            x = 0.0
+        if x > t2_s:
+            x = t2_s
+        out[i] = (a * pd_mw + x * pf_mw) - before
+    return 0
+
+
+def _warmup_step(fn):
+    """Specialise rrc_step on a two-device instance."""
+    n = 2
+    fn(
+        1.0,
+        800.0,
+        400.0,
+        4.1,
+        5.6,
+        np.array([True, False]),
+        np.array([0.0, 2.5]),
+        np.array([True, False]),
+        np.empty(n),
+        np.empty(n, dtype=np.bool_),
+        np.empty(n),
+        np.empty(2 * n),
+        np.empty(n, dtype=np.bool_),
+    )
+
+
+def _warmup_idle_cost(fn):
+    """Specialise rrc_idle_cost on a two-device instance."""
+    n = 2
+    fn(
+        1.0,
+        800.0,
+        400.0,
+        4.1,
+        5.6,
+        np.array([0.0, 2.5]),
+        np.array([True, False]),
+        np.empty(n),
+        np.empty(2 * n),
+        np.empty(n, dtype=np.bool_),
+    )
+
+
+register("rrc_step", numpy=rrc_step_numpy, python=rrc_step_loops, warmup=_warmup_step)
+register(
+    "rrc_idle_cost",
+    numpy=rrc_idle_cost_numpy,
+    python=rrc_idle_cost_loops,
+    warmup=_warmup_idle_cost,
+)

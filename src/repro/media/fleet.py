@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.kernels import registry as kernel_registry
 from repro.media.player import PlayerState
 from repro.media.video import ConstantBitrateProfile, PiecewiseBitrateProfile
 
@@ -161,6 +162,26 @@ class ClientFleet:
         self._began = np.zeros(n, dtype=bool)
         self._views: list[FleetClientView] | None = None
 
+        # Double buffers for the slot kernels: a kernel reads the
+        # current binding of each mutable array and writes the
+        # alternate; on success the bindings swap.  A binding is not
+        # overwritten until two kernel calls later, preserving the
+        # "rebound, never mutated in place" contract SlotObservation
+        # snapshots rely on within their slot.
+        self._occ_alt = np.empty(n, dtype=float)
+        self._pend_alt = np.empty(n, dtype=float)
+        self._began_alt = np.empty(n, dtype=bool)
+        self._elapsed_alt = np.empty(n, dtype=float)
+        self._total_alt = np.empty(n, dtype=float)
+        self._rebuf_alt = np.empty(n, dtype=float)
+        self._delivered_alt = np.empty(n, dtype=float)
+        self._dplay_alt = np.empty(n, dtype=float)
+        self._accepted = np.empty(n, dtype=float)
+        self._fscratch = np.empty(2 * n, dtype=float)
+        self._bscratch = np.empty(4 * n, dtype=bool)
+        self._begin_kernel = None
+        self._deliver_kernel = None
+
     # -- progress predicates (all shape (n_users,)) --------------------------
 
     @property
@@ -203,66 +224,155 @@ class ClientFleet:
             headroom_s <= 0.0, 0.0, headroom_s * self.rates_for_slot(slot)
         )
 
+    # -- allocation-free observation fills (arena path) ----------------------
+
+    def active_mask_into(self, slot: int, out, ftmp, btmp) -> np.ndarray:
+        """:meth:`active_mask` written into a preallocated buffer."""
+        np.less_equal(self.arrival_slot, slot, out=out)
+        np.subtract(self.size_kb, _EPS, out=ftmp)
+        np.less(self.delivered_kb, ftmp, out=btmp)
+        np.logical_and(out, btmp, out=out)
+        return out
+
+    def remaining_into(self, out) -> np.ndarray:
+        """:attr:`remaining_kb` written into a preallocated buffer."""
+        np.subtract(self.size_kb, self.delivered_kb, out=out)
+        np.maximum(out, 0.0, out=out)
+        return out
+
+    def playback_complete_into(self, out, ftmp, btmp) -> np.ndarray:
+        """:attr:`playback_complete` written into a preallocated buffer."""
+        np.subtract(self.size_kb, _EPS, out=ftmp)
+        np.greater_equal(self.delivered_kb, ftmp, out=out)
+        np.subtract(self.delivered_playback_s, _EPS, out=ftmp)
+        np.greater_equal(self.elapsed_playback_s, ftmp, out=btmp)
+        np.logical_and(out, btmp, out=out)
+        return out
+
+    def receivable_into(self, slot: int, out, btmp) -> np.ndarray:
+        """:meth:`receivable_kb` written into a preallocated buffer."""
+        if self.capacity_s is None:
+            out.fill(np.inf)
+            return out
+        np.subtract(self.buffer_occupancy_s, self.tau_s, out=out)
+        np.maximum(out, 0.0, out=out)
+        np.subtract(self.capacity_s, out, out=out)
+        np.subtract(out, self.pending_playback_s, out=out)
+        np.less_equal(out, 0.0, out=btmp)
+        np.multiply(out, self.rates_for_slot(slot), out=out)
+        np.copyto(out, 0.0, where=btmp)
+        return out
+
     # -- per-slot protocol ---------------------------------------------------
 
-    def begin_slot(self, slot: int) -> np.ndarray:
+    def begin_slot(self, slot: int, out: np.ndarray | None = None) -> np.ndarray:
         """Start slot ``slot`` for every arrived user: Eqs. (7)-(8).
 
         Users whose session has not arrived are untouched (no buffer
         advance, no startup rebuffering); completed users record zero
-        rebuffering.  Returns this slot's per-user rebuffering vector.
+        rebuffering.  Returns this slot's per-user rebuffering vector —
+        a fresh array, or ``out`` filled in place when given (the
+        engine passes its result-grid row to stay allocation-free).
         """
-        arrived = slot >= self.arrival_slot
-        tau = self.tau_s
+        if self._begin_kernel is None:
+            self._begin_kernel = kernel_registry.resolve("fleet_begin_slot")
+        cap = np.inf if self.capacity_s is None else self.capacity_s
+        self._begin_kernel(
+            slot,
+            self.tau_s,
+            cap,
+            self.arrival_slot,
+            self.size_kb,
+            self.delivered_kb,
+            self.delivered_playback_s,
+            self.buffer_occupancy_s,
+            self.pending_playback_s,
+            self._began,
+            self.elapsed_playback_s,
+            self.total_rebuffering_s,
+            self._occ_alt,
+            self._pend_alt,
+            self._began_alt,
+            self._elapsed_alt,
+            self._total_alt,
+            self._rebuf_alt,
+            self._fscratch,
+            self._bscratch,
+        )
+        self.buffer_occupancy_s, self._occ_alt = self._occ_alt, self.buffer_occupancy_s
+        self.pending_playback_s, self._pend_alt = (
+            self._pend_alt,
+            self.pending_playback_s,
+        )
+        self._began, self._began_alt = self._began_alt, self._began
+        self.elapsed_playback_s, self._elapsed_alt = (
+            self._elapsed_alt,
+            self.elapsed_playback_s,
+        )
+        self.total_rebuffering_s, self._total_alt = (
+            self._total_alt,
+            self.total_rebuffering_s,
+        )
+        self.last_slot_rebuffering_s, self._rebuf_alt = (
+            self._rebuf_alt,
+            self.last_slot_rebuffering_s,
+        )
+        if out is not None:
+            np.copyto(out, self.last_slot_rebuffering_s)
+            return out
+        return self.last_slot_rebuffering_s.copy()
 
-        # Eq. (7): r(n) = min(max(r(n-1) - tau, 0) + t(n-1), cap).
-        occ = np.maximum(self.buffer_occupancy_s - tau, 0.0) + self.pending_playback_s
-        if self.capacity_s is not None:
-            occ = np.minimum(occ, self.capacity_s)
-        occ = np.where(arrived, occ, self.buffer_occupancy_s)
-        self.buffer_occupancy_s = occ
-        self.pending_playback_s = np.where(arrived, 0.0, self.pending_playback_s)
-        self._began = self._began | arrived
-
-        playing = arrived & ~self.playback_complete
-        # Eq. (8): c(n) = max(tau - r(n), 0) while playback is unfinished.
-        rebuf = np.where(playing, np.maximum(tau - occ, 0.0), 0.0)
-        played = np.where(playing, tau - rebuf, 0.0)
-        # Do not play past the end of the received (== total) media;
-        # stalling past the end of the video is not rebuffering.
-        media_left = self.delivered_playback_s - self.elapsed_playback_s
-        over = playing & (played > media_left)
-        played = np.where(over, np.maximum(media_left, 0.0), played)
-        rebuf = np.where(over & self.fully_delivered, 0.0, rebuf)
-        self.elapsed_playback_s = self.elapsed_playback_s + played
-        self.total_rebuffering_s = self.total_rebuffering_s + rebuf
-        self.last_slot_rebuffering_s = rebuf
-        return rebuf
-
-    def deliver(self, offer_kb: np.ndarray, slot: int) -> np.ndarray:
+    def deliver(
+        self, offer_kb: np.ndarray, slot: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Record the slot's data shards for the whole fleet.
 
         Each user's shard is truncated to the session's remaining bytes
         and to the receiver window; the accepted amounts (KB) are
-        returned.
+        returned — in a fresh array, or in ``out`` when given.  On a
+        non-positive-bitrate error the fleet state is untouched (the
+        kernel reports before any state buffer swaps).
         """
         offer = np.asarray(offer_kb, dtype=float)
         if offer.shape != (self.n_users,):
             raise ConfigurationError("offer_kb has wrong shape")
         if np.any(offer < 0):
             raise ConfigurationError("data_kb must be non-negative")
-        accepted = np.minimum(
-            np.minimum(offer, self.remaining_kb), self.receivable_kb(slot)
+        if self._deliver_kernel is None:
+            self._deliver_kernel = kernel_registry.resolve("fleet_deliver")
+        cap = np.inf if self.capacity_s is None else self.capacity_s
+        accepted = out if out is not None else self._accepted
+        err = self._deliver_kernel(
+            self.tau_s,
+            cap,
+            offer,
+            np.asarray(self.rates_for_slot(slot), dtype=float),
+            self.size_kb,
+            self.delivered_kb,
+            self.delivered_playback_s,
+            self.buffer_occupancy_s,
+            self.pending_playback_s,
+            self._delivered_alt,
+            self._dplay_alt,
+            self._pend_alt,
+            accepted,
+            self._fscratch,
+            self._bscratch,
         )
-        accepted = np.where(accepted > 0.0, accepted, 0.0)
-        rates = self.rates_for_slot(slot)
-        if np.any((accepted > 0.0) & (rates <= 0.0)):
+        if err:
             raise SimulationError(f"non-positive bitrate at slot {slot}")
-        duration = accepted / rates
-        self.delivered_kb = self.delivered_kb + accepted
-        self.delivered_playback_s = self.delivered_playback_s + duration
-        self.pending_playback_s = self.pending_playback_s + duration
-        return accepted
+        self.delivered_kb, self._delivered_alt = self._delivered_alt, self.delivered_kb
+        self.delivered_playback_s, self._dplay_alt = (
+            self._dplay_alt,
+            self.delivered_playback_s,
+        )
+        self.pending_playback_s, self._pend_alt = (
+            self._pend_alt,
+            self.pending_playback_s,
+        )
+        if out is not None:
+            return out
+        return accepted.copy()
 
     # -- per-user views ------------------------------------------------------
 

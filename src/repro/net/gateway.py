@@ -123,14 +123,17 @@ class DataReceiver:
         self.queued_kb += fetch
         self.fetched_total_kb += fetch
 
-    def drain(self, amounts_kb: np.ndarray) -> np.ndarray:
+    def drain(self, amounts_kb: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Remove up to ``amounts_kb`` per user; returns what was taken."""
         req = np.asarray(amounts_kb, dtype=float)
         if req.shape != (self.n_users,):
             raise ConfigurationError("amounts_kb has wrong shape")
         if np.any(req < 0):
             raise ConfigurationError("drain amounts must be non-negative")
-        taken = np.minimum(req, self.queued_kb)
+        if out is None:
+            taken = np.minimum(req, self.queued_kb)
+        else:
+            taken = np.minimum(req, self.queued_kb, out=out)
         self.queued_kb -= taken
         return taken
 
@@ -197,6 +200,7 @@ class InformationCollector:
         throughput_model,
         power_model,
         idle_tail_cost_mj: np.ndarray,
+        arena=None,
     ) -> SlotObservation:
         """:meth:`collect`, reading a :class:`~repro.media.fleet.ClientFleet`.
 
@@ -204,6 +208,12 @@ class InformationCollector:
         feedback comes straight from the fleet's state arrays and the
         DPI rates from its vectorized profile lookup.  Safe without
         copies because the fleet rebinds (never mutates) its arrays.
+
+        With a :class:`~repro.kernels.arena.SlotArena` the per-user
+        observation arrays are written into the arena's reused buffers
+        instead of freshly allocated — bit-identical values, zero array
+        allocations per slot.  Arena-backed observations are only valid
+        until the next ``collect_fleet`` call overwrites the buffers.
         """
         n = fleet.n_users
         sig = np.asarray(sig_row, dtype=float)
@@ -213,7 +223,26 @@ class InformationCollector:
         raw_cap = bs.capacity_kbps(slot)
         video_cap = slicer.video_capacity_kbps(raw_cap, slot)
         unit_budget = int(np.floor(bs.tau_s * video_cap / bs.delta_kb))
-        link_units = throughput_model.max_units(sig, bs.tau_s, bs.delta_kb)
+        if arena is not None:
+            link_units = throughput_model.max_units(
+                sig, bs.tau_s, bs.delta_kb, out=arena.link_units, scratch=arena.f8_tmp
+            )
+            p_mj_per_kb = power_model.p(
+                sig, out=arena.p_mj_per_kb, scratch=arena.f8_tmp
+            )
+            active = fleet.active_mask_into(
+                slot, arena.active, arena.f8_tmp, arena.b1_tmp
+            )
+            remaining = fleet.remaining_into(arena.remaining_kb)
+            receivable = fleet.receivable_into(
+                slot, arena.receivable_kb, arena.b1_tmp
+            )
+        else:
+            link_units = throughput_model.max_units(sig, bs.tau_s, bs.delta_kb)
+            p_mj_per_kb = np.asarray(power_model.p(sig), dtype=float)
+            active = fleet.active_mask(slot)
+            remaining = fleet.remaining_kb
+            receivable = fleet.receivable_kb(slot)
         return SlotObservation(
             slot=slot,
             tau_s=bs.tau_s,
@@ -223,12 +252,12 @@ class InformationCollector:
             sig_dbm=sig,
             rate_kbps=rates,
             link_units=link_units,
-            p_mj_per_kb=np.asarray(power_model.p(sig), dtype=float),
-            active=fleet.active_mask(slot),
+            p_mj_per_kb=p_mj_per_kb,
+            active=active,
             buffer_s=fleet.buffer_occupancy_s,
-            remaining_kb=fleet.remaining_kb,
+            remaining_kb=remaining,
             idle_tail_cost_mj=np.asarray(idle_tail_cost_mj, dtype=float),
-            receivable_kb=fleet.receivable_kb(slot),
+            receivable_kb=receivable,
         )
 
 
@@ -269,13 +298,26 @@ class DataTransmitter:
         obs: SlotObservation,
         receiver: DataReceiver,
         fleet,
+        arena=None,
     ) -> np.ndarray:
-        """:meth:`transmit` against a :class:`~repro.media.fleet.ClientFleet`."""
+        """:meth:`transmit` against a :class:`~repro.media.fleet.ClientFleet`.
+
+        With a :class:`~repro.kernels.arena.SlotArena` the offer and
+        accepted vectors live in the arena's reused buffers (the
+        accepted vector stays valid for the rest of the slot — the
+        engine copies it into its result grid).
+        """
         phi = np.asarray(allocation_units)
         if phi.shape != (fleet.n_users,):
             raise SimulationError("allocation has wrong shape")
         if np.any(phi < 0):
             raise SimulationError("allocation must be non-negative")
+        if arena is not None:
+            want_kb = np.multiply(phi, obs.delta_kb, out=arena.want_kb)
+            offer_kb = np.minimum(want_kb, receiver.queued_kb, out=want_kb)
+            accepted = fleet.deliver(offer_kb, obs.slot, out=arena.accepted_kb)
+            receiver.drain(accepted, out=arena.drained_kb)
+            return accepted
         want_kb = phi.astype(float) * obs.delta_kb
         offer_kb = np.minimum(want_kb, receiver.queued_kb)
         accepted = fleet.deliver(offer_kb, obs.slot)
@@ -317,6 +359,7 @@ class Gateway:
         idle_tail_cost_mj: np.ndarray,
         instrumentation=None,
         fleet=None,
+        arena=None,
     ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
         """Run one slot of the framework.
 
@@ -327,7 +370,10 @@ class Gateway:
         the engine's vectorized path — from a
         :class:`~repro.media.fleet.ClientFleet` passed as ``fleet``
         (in which case ``clients`` is ignored).  Both paths produce
-        bit-identical observations and deliveries.
+        bit-identical observations and deliveries.  A
+        :class:`~repro.kernels.arena.SlotArena` makes the fleet path
+        allocation-free (observation arrays and transmit scratch are
+        written into the arena's reused buffers).
 
         With an :class:`~repro.obs.instrument.Instrumentation` bundle
         attached, the observe/schedule/transmit phases are timed
@@ -362,6 +408,7 @@ class Gateway:
                 throughput_model,
                 power_model,
                 idle_tail_cost_mj,
+                arena=arena,
             )
         else:
             obs = self.collector.collect(
@@ -385,7 +432,7 @@ class Gateway:
             rec_schedule(_t2 - _t1)
         if fleet is not None:
             delivered_kb = self.transmitter.transmit_fleet(
-                phi, obs, self.receiver, fleet
+                phi, obs, self.receiver, fleet, arena=arena
             )
         else:
             delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)

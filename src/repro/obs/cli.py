@@ -169,6 +169,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trace:    {tracer.path} ({tracer.n_events} events)")
     print(f"manifest: {manifest_path}")
     print(f"metrics:  {metrics_path}")
+    backend_line = f"backend:  {manifest.kernel_backend}"
+    if manifest.numba_version is not None:
+        backend_line += f" (numba {manifest.numba_version})"
+    if manifest.kernel_compile_times_s:
+        total_compile = sum(manifest.kernel_compile_times_s.values())
+        backend_line += f", jit compile {total_compile:.2f}s"
+    print(backend_line)
     if report_path is not None:
         print(f"report:   {report_path}")
     print(f"wall time: {wall_time:.1f}s", file=sys.stderr)

@@ -163,12 +163,18 @@ def flatten_metrics(
     booleans and ``None`` are dropped; strings are kept (they compare
     under the ``equal`` direction).  With ``skip_timings``, any branch
     whose dotted name contains ``.seconds`` or ``wall_time`` is
-    dropped — wall-clock measurements are not reproducible.
+    dropped — wall-clock measurements are not reproducible — and so is
+    the ``kernels.*`` namespace (backend name, numba version, compile
+    times, fallback counters): it describes the execution environment,
+    not the run's results, and legitimately differs between two
+    otherwise bit-identical runs on different kernel backends.
     """
     out: dict[str, float | str] = {}
 
     def walk(node: Any, name: str) -> None:
-        if skip_timings and name and (".seconds" in name or "wall_time" in name):
+        if skip_timings and name and (
+            ".seconds" in name or "wall_time" in name or "kernels." in name
+        ):
             return
         if isinstance(node, Mapping):
             for key in node:

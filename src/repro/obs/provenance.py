@@ -97,6 +97,15 @@ class RunManifest:
     created_at: float
     #: Wall-clock duration of the run, seconds (None until recorded).
     wall_time_s: float | None = None
+    #: Kernel dispatch backend the run resolved to
+    #: (``numpy``/``numba``/``python``; see :mod:`repro.kernels`).
+    kernel_backend: str | None = None
+    #: Numba version when importable (backends other than numba still
+    #: record it — it documents what *could* have run).
+    numba_version: str | None = None
+    #: Per-kernel JIT compile times, seconds (empty off the numba
+    #: backend or before any kernel was compiled).
+    kernel_compile_times_s: dict[str, float] = field(default_factory=dict)
     #: Free-form extras (experiment id, scale, trace event count, ...).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -116,10 +125,21 @@ class RunManifest:
 def build_manifest(config: SimConfig, **extra: Any) -> RunManifest:
     """Assemble a :class:`RunManifest` for ``config``.
 
-    Keyword arguments land in :attr:`RunManifest.extra` verbatim.
+    Keyword arguments land in :attr:`RunManifest.extra` verbatim.  The
+    kernel-backend fields are captured automatically from the ambient
+    :func:`repro.kernels.backend_info` so every manifest records which
+    compiled path produced the run.
     """
     from repro import __version__
+    from repro.kernels import backend_info, use_backend
 
+    if config.kernel_backend is not None:
+        # Resolve under the config's backend (handles the numba-missing
+        # fallback) rather than trusting the requested name.
+        with use_backend(config.kernel_backend):
+            kinfo = backend_info()
+    else:
+        kinfo = backend_info()
     return RunManifest(
         config_hash=config_hash(config),
         seed=config.seed,
@@ -131,5 +151,8 @@ def build_manifest(config: SimConfig, **extra: Any) -> RunManifest:
         numpy_version=np.__version__,
         platform=platform.platform(),
         created_at=time.time(),
+        kernel_backend=kinfo["resolved"],
+        numba_version=kinfo["numba_version"],
+        kernel_compile_times_s=dict(kinfo["compile_times_s"]),
         extra=dict(extra),
     )

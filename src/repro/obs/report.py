@@ -245,7 +245,15 @@ def _provenance(run_dir: Path) -> str:
     except (OSError, json.JSONDecodeError):
         return ""
     fields = []
-    for key in ("config_hash", "git_revision", "package_version", "created_at", "seed"):
+    for key in (
+        "config_hash",
+        "git_revision",
+        "package_version",
+        "created_at",
+        "seed",
+        "kernel_backend",
+        "numba_version",
+    ):
         value = manifest.get(key)
         if value is None and isinstance(manifest.get("extra"), dict):
             value = manifest["extra"].get(key)

@@ -31,8 +31,13 @@ class PowerModel(abc.ABC):
     """Maps signal strength (dBm) to per-KB reception energy (mJ/KB)."""
 
     @abc.abstractmethod
-    def p(self, sig_dbm):
-        """Energy per KB (mJ/KB) at signal ``sig_dbm`` (scalar or array)."""
+    def p(self, sig_dbm, out=None, scratch=None):
+        """Energy per KB (mJ/KB) at signal ``sig_dbm`` (scalar or array).
+
+        With ``out`` (and, for models that need it, a float ``scratch``
+        of the same shape) the result is written in place — the
+        allocation-free path used by the engine's slot arena.
+        """
 
     def transmission_energy_mj(self, sig_dbm, data_kb):
         """Eq. (3): ``E_trans = P(sig) * data`` for ``data`` in KB."""
@@ -74,15 +79,25 @@ class EnviPowerModel(PowerModel):
         self.throughput = throughput if throughput is not None else LinearThroughputModel()
         self.p_floor = float(p_floor)
 
-    def p(self, sig_dbm):
-        v = np.asarray(self.throughput.v(sig_dbm), dtype=float)
+    def p(self, sig_dbm, out=None, scratch=None):
+        if out is None:
+            v = np.asarray(self.throughput.v(sig_dbm), dtype=float)
+            with np.errstate(divide="ignore"):
+                raw = self.offset + self.scale / v
+            # Zero throughput -> infinite energy per byte: transmitting
+            # there is never selected by any scheduler, and the +inf
+            # propagates correctly through cost comparisons.
+            raw = np.where(v > 0, raw, np.inf)
+            return np.maximum(raw, self.p_floor)
+        # In-place variant: v >= 0 by model contract, and at v == 0 the
+        # division already yields scale/0 = +inf (offset + inf = inf),
+        # so the explicit where(v > 0, ..., inf) is redundant here.
+        v = self.throughput.v(sig_dbm, out=scratch)
         with np.errstate(divide="ignore"):
-            raw = self.offset + self.scale / v
-        # Zero throughput -> infinite energy per byte: transmitting there
-        # is never selected by any scheduler, and the +inf propagates
-        # correctly through cost comparisons.
-        raw = np.where(v > 0, raw, np.inf)
-        return np.maximum(raw, self.p_floor)
+            np.divide(self.scale, v, out=out)
+        np.add(out, self.offset, out=out)
+        np.maximum(out, self.p_floor, out=out)
+        return out
 
     def radio_power_mw(self, sig_dbm):
         """Instantaneous power ``P(sig) * v(sig)`` when receiving at
@@ -133,5 +148,11 @@ class TablePowerModel(PowerModel):
         self.sig_points = sig
         self.p_points = p
 
-    def p(self, sig_dbm):
-        return np.interp(np.asarray(sig_dbm, dtype=float), self.sig_points, self.p_points)
+    def p(self, sig_dbm, out=None, scratch=None):
+        vals = np.interp(
+            np.asarray(sig_dbm, dtype=float), self.sig_points, self.p_points
+        )
+        if out is None:
+            return vals
+        np.copyto(out, vals)
+        return out

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import constants
 from repro.errors import ConfigurationError
+from repro.kernels import registry as kernel_registry
 from repro.radio.tail import max_tail_energy_mj, tail_energy_mj
 
 __all__ = [
@@ -159,9 +160,23 @@ class RRCFleet:
         full = self.params.t1_s + self.params.t2_s
         self.idle_age_s = np.full(self.n_users, full, dtype=float)
         self.ever_transmitted = np.zeros(self.n_users, dtype=bool)
+        # Double buffers for the slot kernel: it reads the current
+        # bindings and writes the alternates; bindings swap on return.
+        n = self.n_users
+        self._age_alt = np.empty(n, dtype=float)
+        self._ever_alt = np.empty(n, dtype=bool)
+        self._tail = np.empty(n, dtype=float)
+        self._fscratch = np.empty(2 * n, dtype=float)
+        self._bscratch = np.empty(n, dtype=bool)
+        self._step_kernel = None
+        self._idle_kernel = None
 
     def step(
-        self, transmitting: np.ndarray, dt_s: float, instrumentation=None
+        self,
+        transmitting: np.ndarray,
+        dt_s: float,
+        instrumentation=None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Advance all devices one slot.
 
@@ -180,7 +195,7 @@ class RRCFleet:
         Returns
         -------
         Tail energy accrued this slot per device, mJ (zero where
-        transmitting).
+        transmitting) — a fresh array, or ``out`` filled in place.
         """
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
@@ -189,11 +204,27 @@ class RRCFleet:
             raise ConfigurationError(
                 f"transmitting mask must have shape ({self.n_users},), got {tx.shape}"
             )
-        before = self.params.tail_energy_mj(self.idle_age_s)
-        after = self.params.tail_energy_mj(self.idle_age_s + dt_s)
-        tail = np.where(tx | ~self.ever_transmitted, 0.0, after - before)
-        self.idle_age_s = np.where(tx, 0.0, self.idle_age_s + dt_s)
-        self.ever_transmitted |= tx
+        if self._step_kernel is None:
+            self._step_kernel = kernel_registry.resolve("rrc_step")
+        tail = out if out is not None else self._tail
+        p = self.params
+        self._step_kernel(
+            dt_s,
+            p.pd_mw,
+            p.pf_mw,
+            p.t1_s,
+            p.t2_s,
+            tx,
+            self.idle_age_s,
+            self.ever_transmitted,
+            self._age_alt,
+            self._ever_alt,
+            tail,
+            self._fscratch,
+            self._bscratch,
+        )
+        self.idle_age_s, self._age_alt = self._age_alt, self.idle_age_s
+        self.ever_transmitted, self._ever_alt = self._ever_alt, self.ever_transmitted
         if instrumentation is not None:
             metrics = instrumentation.metrics
             counts = self.state_counts()
@@ -201,7 +232,9 @@ class RRCFleet:
             metrics.counter("rrc.occupancy.fach").inc(counts["fach"])
             metrics.counter("rrc.occupancy.idle").inc(counts["idle"])
             metrics.counter("rrc.tail_mj").inc(float(tail.sum()))
-        return tail
+        if out is not None:
+            return out
+        return tail.copy()
 
     def state_counts(self) -> dict[str, int]:
         """Vectorised per-state device counts ``{"dch", "fach", "idle"}``.
@@ -218,13 +251,31 @@ class RRCFleet:
         n_fach = int(fach.sum())
         return {"dch": n_dch, "fach": n_fach, "idle": self.n_users - n_dch - n_fach}
 
-    def expected_idle_cost_mj(self, dt_s: float) -> np.ndarray:
+    def expected_idle_cost_mj(
+        self, dt_s: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Vectorised :meth:`RRCStateMachine.expected_idle_cost_mj`."""
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
-        before = self.params.tail_energy_mj(self.idle_age_s)
-        after = self.params.tail_energy_mj(self.idle_age_s + dt_s)
-        return np.where(self.ever_transmitted, after - before, 0.0)
+        if self._idle_kernel is None:
+            self._idle_kernel = kernel_registry.resolve("rrc_idle_cost")
+        cost = out if out is not None else self._tail
+        p = self.params
+        self._idle_kernel(
+            dt_s,
+            p.pd_mw,
+            p.pf_mw,
+            p.t1_s,
+            p.t2_s,
+            self.idle_age_s,
+            self.ever_transmitted,
+            cost,
+            self._fscratch,
+            self._bscratch,
+        )
+        if out is not None:
+            return out
+        return cost.copy()
 
     def occupancy_from_tx(self, tx: np.ndarray, dt_s: float) -> dict[str, int]:
         """Batch :meth:`state_counts` totals for a whole run, see

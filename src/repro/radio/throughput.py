@@ -30,8 +30,13 @@ class ThroughputModel(abc.ABC):
     """Maps signal strength (dBm) to achievable throughput (KB/s)."""
 
     @abc.abstractmethod
-    def v(self, sig_dbm):
-        """Throughput in KB/s for signal ``sig_dbm`` (scalar or array)."""
+    def v(self, sig_dbm, out=None):
+        """Throughput in KB/s for signal ``sig_dbm`` (scalar or array).
+
+        With ``out`` (a float array matching ``sig_dbm``'s shape) the
+        result is written in place and ``out`` returned — the
+        allocation-free path used by the engine's slot arena.
+        """
 
     @abc.abstractmethod
     def signal_for(self, v_kbps):
@@ -44,16 +49,30 @@ class ThroughputModel(abc.ABC):
     def v_max(self) -> float:
         """Largest throughput achievable at the strongest modelled signal."""
 
-    def max_units(self, sig_dbm, tau_s: float, delta_kb: float) -> np.ndarray:
+    def max_units(
+        self, sig_dbm, tau_s: float, delta_kb: float, out=None, scratch=None
+    ) -> np.ndarray:
         """Constraint (1): per-slot data-unit cap ``floor(tau*v(sig)/delta)``.
 
         The paper writes a ceiling in Eq. (1) but uses the floor when
         computing ``phi_sup`` in both algorithms; we use the floor
         uniformly so an allocation never exceeds physical throughput.
+
+        With ``out`` (int64) and ``scratch`` (float64) the result is
+        computed without allocating.
         """
         if tau_s <= 0 or delta_kb <= 0:
             raise ConfigurationError("tau_s and delta_kb must be positive")
-        return np.floor(tau_s * np.asarray(self.v(sig_dbm)) / delta_kb).astype(np.int64)
+        if out is None:
+            return np.floor(
+                tau_s * np.asarray(self.v(sig_dbm)) / delta_kb
+            ).astype(np.int64)
+        vals = self.v(sig_dbm, out=scratch)
+        np.multiply(vals, tau_s, out=vals)
+        np.divide(vals, delta_kb, out=vals)
+        np.floor(vals, out=vals)
+        np.copyto(out, vals, casting="unsafe")
+        return out
 
 
 class LinearThroughputModel(ThroughputModel):
@@ -71,9 +90,14 @@ class LinearThroughputModel(ThroughputModel):
         self.intercept = float(intercept)
         self.sig_max_dbm = float(sig_max_dbm)
 
-    def v(self, sig_dbm):
-        out = self.slope * np.asarray(sig_dbm, dtype=float) + self.intercept
-        return np.maximum(out, 0.0)
+    def v(self, sig_dbm, out=None):
+        if out is None:
+            vals = self.slope * np.asarray(sig_dbm, dtype=float) + self.intercept
+            return np.maximum(vals, 0.0)
+        np.multiply(np.asarray(sig_dbm, dtype=float), self.slope, out=out)
+        np.add(out, self.intercept, out=out)
+        np.maximum(out, 0.0, out=out)
+        return out
 
     def signal_for(self, v_kbps):
         v_kbps = np.asarray(v_kbps, dtype=float)
@@ -118,8 +142,14 @@ class TableThroughputModel(ThroughputModel):
         self.sig_points = sig
         self.v_points = v
 
-    def v(self, sig_dbm):
-        return np.interp(np.asarray(sig_dbm, dtype=float), self.sig_points, self.v_points)
+    def v(self, sig_dbm, out=None):
+        vals = np.interp(
+            np.asarray(sig_dbm, dtype=float), self.sig_points, self.v_points
+        )
+        if out is None:
+            return vals
+        np.copyto(out, vals)
+        return out
 
     def signal_for(self, v_kbps):
         return np.interp(np.asarray(v_kbps, dtype=float), self.v_points, self.sig_points)

@@ -58,6 +58,14 @@ class SimConfig:
     seed:
         Workload RNG seed; identical seeds give identical workloads
         across schedulers (the comparisons rely on this).
+    kernel_backend:
+        Kernel dispatch backend for the run: ``"numpy"``, ``"numba"``,
+        ``"python"`` or ``"auto"`` (numba when importable).  ``None``
+        defers to the ambient selection
+        (:func:`repro.kernels.set_backend` /
+        ``$REPRO_KERNEL_BACKEND`` / auto).  All backends produce
+        bit-identical results (guarded by
+        ``tests/integration/test_backend_equivalence.py``).
     """
 
     n_users: int = constants.DEFAULT_N_USERS
@@ -81,6 +89,7 @@ class SimConfig:
     background: BackgroundTraffic | None = None
     fetch_ahead_kb: float = float("inf")
     seed: int = 0
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_users <= 0 or self.n_slots <= 0:
@@ -99,6 +108,14 @@ class SimConfig:
             raise ConfigurationError("mean_video_size_kb must be positive")
         if self.buffer_capacity_s is not None and self.buffer_capacity_s <= 0:
             raise ConfigurationError("buffer_capacity_s must be positive")
+        if self.kernel_backend is not None:
+            from repro.kernels.backend import BACKEND_CHOICES
+
+            if self.kernel_backend not in BACKEND_CHOICES:
+                raise ConfigurationError(
+                    f"kernel_backend must be one of {BACKEND_CHOICES}, "
+                    f"got {self.kernel_backend!r}"
+                )
 
     @property
     def radio(self) -> RadioProfile:

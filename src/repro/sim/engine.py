@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.allocation import check_constraints
 from repro.errors import ConfigurationError, SimulationError
+from repro.kernels import SlotArena, backend_info, use_backend
 from repro.media.fleet import ClientFleet
 from repro.media.player import StreamingClient
 from repro.net.basestation import BaseStation, ConstantCapacity
@@ -133,6 +134,15 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         """Execute the full horizon and return the result record."""
+        if self.config.kernel_backend is not None:
+            # The whole run — including scheduler.reset(), which clears
+            # cached kernel resolutions — executes under the configured
+            # backend.
+            with use_backend(self.config.kernel_backend):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> SimulationResult:
         cfg = self.config
         radio = cfg.radio
         n, gamma = cfg.n_users, cfg.n_slots
@@ -171,12 +181,17 @@ class Simulation:
         if use_fleet:
             fleet = ClientFleet(self.workload.flows, cfg.tau_s, cfg.buffer_capacity_s)
             clients = None
+            # All per-user observation/transmit buffers for the whole
+            # run; the slot loop below never allocates an array on this
+            # path.
+            arena = SlotArena(n)
         else:
             fleet = None
             clients = [
                 StreamingClient(flow.video, cfg.tau_s, cfg.buffer_capacity_s)
                 for flow in self.workload.flows
             ]
+            arena = None
         bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
         slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
         gateway = Gateway(
@@ -212,6 +227,7 @@ class Simulation:
                 tau_s=cfg.tau_s,
                 delta_kb=cfg.delta_kb,
                 seed=cfg.seed,
+                kernel_backend=backend_info()["resolved"],
                 rrc={
                     "pd_mw": radio.rrc.pd_mw,
                     "pf_mw": radio.rrc.pf_mw,
@@ -228,10 +244,17 @@ class Simulation:
             if instrumented:
                 _t0 = _pc()
             if use_fleet:
-                rebuf[slot] = fleet.begin_slot(slot)
-                newly_done = (
-                    (completion < 0) & fleet.playback_complete & (slot >= arrivals)
+                fleet.begin_slot(slot, out=rebuf[slot])
+                # newly_done = (completion < 0) & playback_complete &
+                # (slot >= arrivals), assembled in arena scratch (the
+                # observe/transmit buffers are free during playback).
+                newly_done = fleet.playback_complete_into(
+                    arena.b1_tmp, arena.f8_tmp, arena.tx_mask
                 )
+                np.less(completion, 0, out=arena.tx_mask)
+                np.logical_and(newly_done, arena.tx_mask, out=newly_done)
+                np.less_equal(arrivals, slot, out=arena.tx_mask)
+                np.logical_and(newly_done, arena.tx_mask, out=newly_done)
                 if newly_done.any():
                     completion[newly_done] = slot
             else:
@@ -246,7 +269,9 @@ class Simulation:
                 rec_playback(_pc() - _t0)
 
             # 2-4. Observe, schedule, transmit (timed inside the gateway).
-            idle_cost = rrc.expected_idle_cost_mj(cfg.tau_s)
+            idle_cost = rrc.expected_idle_cost_mj(
+                cfg.tau_s, out=arena.idle_tail_cost_mj if use_fleet else None
+            )
             obs, phi, sent_kb = gateway.step(
                 slot,
                 signal[slot],
@@ -257,18 +282,29 @@ class Simulation:
                 idle_cost,
                 instrumentation=instr,
                 fleet=fleet,
+                arena=arena,
             )
             check_constraints(phi, obs)
-            if np.any(sent_kb > phi * cfg.delta_kb + 1e-9):
+            if use_fleet:
+                np.multiply(phi, cfg.delta_kb, out=arena.f8_tmp)
+                np.add(arena.f8_tmp, 1e-9, out=arena.f8_tmp)
+                np.greater(sent_kb, arena.f8_tmp, out=arena.b1_tmp)
+                overdelivered = arena.b1_tmp.any()
+            else:
+                overdelivered = np.any(sent_kb > phi * cfg.delta_kb + 1e-9)
+            if overdelivered:
                 raise SimulationError(f"slot {slot}: delivered more than allocated")
 
             # 5. Radio energy accounting (Eq. 5: trans XOR tail).
             #    Occupancy/tail metrics are batch-derived after the loop.
             if instrumented:
                 _t0 = _pc()
-            tx_mask = sent_kb > 0.0
-            e_trans[slot] = obs.p_mj_per_kb * sent_kb
-            e_tail[slot] = rrc.step(tx_mask, cfg.tau_s)
+            if use_fleet:
+                tx_mask = np.greater(sent_kb, 0.0, out=arena.tx_mask)
+            else:
+                tx_mask = sent_kb > 0.0
+            np.multiply(obs.p_mj_per_kb, sent_kb, out=e_trans[slot])
+            rrc.step(tx_mask, cfg.tau_s, out=e_tail[slot])
             if instrumented:
                 rec_rrc(_pc() - _t0)
 
@@ -282,7 +318,7 @@ class Simulation:
             alloc[slot] = phi
             delivered[slot] = sent_kb
             buffer_s[slot] = obs.buffer_s
-            need_kb[slot] = obs.rate_kbps * cfg.tau_s
+            np.multiply(obs.rate_kbps, cfg.tau_s, out=need_kb[slot])
             active_rec[slot] = obs.active
 
             if instrumented:
@@ -304,18 +340,22 @@ class Simulation:
                     # reconstruct timelines and run the invariant
                     # checkers offline.  Only built when a real tracer
                     # is attached, so the NullTracer overhead budget is
-                    # untouched.
+                    # untouched.  Arena-backed vectors are referenced
+                    # through the result grids (already copied above) or
+                    # copied here — the arena reuses its buffers next
+                    # slot, so raw references would go stale in a
+                    # recording tracer.
                     users={
                         "phi": phi,
-                        "delivered_kb": sent_kb,
+                        "delivered_kb": delivered[slot],
                         "rebuffering_s": rebuf[slot],
-                        "buffer_s": obs.buffer_s,
+                        "buffer_s": buffer_s[slot],
                         "energy_trans_mj": e_trans[slot],
                         "energy_tail_mj": e_tail[slot],
-                        "link_units": obs.link_units,
+                        "link_units": np.array(obs.link_units),
                         "sig_dbm": signal[slot],
                         "rate_kbps": obs.rate_kbps,
-                        "active": obs.active,
+                        "active": active_rec[slot],
                     },
                 )
 
@@ -338,6 +378,11 @@ class Simulation:
             # increments, derived from the recorded grids in a few
             # vectorised operations.
             metrics = instr.metrics
+            kinfo = backend_info()
+            metrics.gauge("kernels.backend").set(kinfo["resolved"])
+            metrics.gauge("kernels.requested").set(kinfo["requested"])
+            if kinfo["numba_version"] is not None:
+                metrics.gauge("kernels.numba_version").set(kinfo["numba_version"])
             metrics.counter("engine.slots").inc(gamma)
             metrics.counter("energy.trans_mj").inc(float(e_trans.sum()))
             metrics.counter("rrc.tail_mj").inc(float(e_tail.sum()))

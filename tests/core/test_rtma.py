@@ -43,6 +43,29 @@ class TestEq12Threshold:
             signal_threshold_for_energy_budget(0.0, EnviPowerModel())
         with pytest.raises(ConfigurationError):
             signal_threshold_for_energy_budget(1.0, EnviPowerModel(), tau_s=0.0)
+        with pytest.raises(ConfigurationError):
+            signal_threshold_for_energy_budget(
+                1.0, EnviPowerModel(), p_tail_mw=-1.0
+            )
+
+    def test_budget_exactly_at_power_supremum(self):
+        # Phi chosen so the required radio power equals the fit's
+        # supremum (= scale, since radio power is offset*v + scale with
+        # offset < 0).  The >= boundary must already be unrestricted.
+        model = EnviPowerModel()
+        tau = 1.0
+        p_tail = 732.83
+        phi_budget = 0.5 * tau * (model.scale + p_tail)
+        thr = signal_threshold_for_energy_budget(
+            phi_budget, model, tau_s=tau, p_tail_mw=p_tail
+        )
+        assert thr == float("-inf")
+        # An epsilon below the supremum demands a finite (or +inf)
+        # threshold — never -inf.
+        thr_below = signal_threshold_for_energy_budget(
+            phi_budget - 1e-9, model, tau_s=tau, p_tail_mw=p_tail
+        )
+        assert thr_below > float("-inf")
 
 
 class TestRTMAAllocation:
@@ -93,6 +116,28 @@ class TestRTMAAllocation:
         phi = sched.allocate(obs)
         assert phi[0] == 0
         assert phi[1] > 0
+
+    def test_user_exactly_at_threshold_is_eligible(self):
+        # Eq. (12) eligibility is inclusive: sig >= phi_sig schedules.
+        obs = make_obs(
+            n_users=3, sig_dbm=[-70.0, np.nextafter(-70.0, -np.inf), -60.0],
+            unit_budget=100,
+        )
+        phi = RTMAScheduler(sig_threshold_dbm=-70.0).allocate(obs)
+        assert phi[0] > 0  # exactly at phi_sig
+        assert phi[1] == 0  # one ulp below
+        assert phi[2] > 0
+
+    def test_infinite_thresholds_from_extreme_budgets(self):
+        # A loose budget degenerates to "no threshold": everyone
+        # eligible.  An unattainable one excludes the whole cell.
+        obs = make_obs(n_users=2, sig_dbm=[-109.0, -51.0], unit_budget=100)
+        loose = RTMAScheduler(energy_budget_mj_per_slot=2000.0)
+        assert loose.sig_threshold_dbm == float("-inf")
+        assert (loose.allocate(obs) > 0).all()
+        tight = RTMAScheduler(energy_budget_mj_per_slot=1.0)
+        assert tight.sig_threshold_dbm == float("inf")
+        assert tight.allocate(obs).sum() == 0
 
     def test_no_threshold_means_all_eligible(self):
         obs = make_obs(n_users=2, sig_dbm=[-109.0, -51.0], unit_budget=100)

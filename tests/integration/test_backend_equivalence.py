@@ -1,0 +1,153 @@
+"""Cross-backend equivalence: every kernel backend yields identical runs.
+
+``SimConfig.kernel_backend`` selects which implementation of the hot
+kernels the engine dispatches to — vectorised NumPy, the interpreted
+loop source ("python"), or the Numba JIT when installed.  The contract
+is *bit-identity*: every result grid must match byte-for-byte across
+backends for every scheduler and seed, and the instrumentation
+metrics must agree on everything except the ``kernels.*`` bookkeeping
+keys (backend name, numba version, compile times), which legitimately
+differ.  A backend-selected trace must also pass the offline
+invariant checkers with zero violations.
+
+Locally this exercises numpy vs python; CI's numba job adds the
+compiled backend to the same parametrisation automatically.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DefaultScheduler,
+    EStreamerScheduler,
+    OnOffScheduler,
+    SalsaScheduler,
+    ThrottlingScheduler,
+)
+from repro.core.ema import EMAScheduler
+from repro.core.rtma import RTMAScheduler
+from repro.kernels import available_backends
+from repro.obs import Instrumentation, JsonlTraceWriter, check_trace, use_instrumentation
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.workload import generate_workload
+
+RESULT_ARRAYS = (
+    "allocation_units",
+    "delivered_kb",
+    "rebuffering_s",
+    "energy_trans_mj",
+    "energy_tail_mj",
+    "buffer_s",
+    "need_kb",
+    "active",
+    "completion_slot",
+    "arrival_slot",
+)
+
+SCHEDULERS = {
+    "rtma": lambda cfg: RTMAScheduler(sig_threshold_dbm=-95.0),
+    "ema": lambda cfg: EMAScheduler(cfg.n_users, v_param=0.05, tau_s=cfg.tau_s),
+    "default": lambda cfg: DefaultScheduler(),
+    "on-off": lambda cfg: OnOffScheduler(),
+    "throttling": lambda cfg: ThrottlingScheduler(),
+    "estreamer": lambda cfg: EStreamerScheduler(),
+    "salsa": lambda cfg: SalsaScheduler(),
+}
+
+#: Backends to compare against the numpy reference on this machine.
+ALT_BACKENDS = [b for b in available_backends() if b != "numpy"]
+
+
+def _cfg(seed, **overrides):
+    base = dict(
+        n_users=10,
+        n_slots=250,
+        capacity_kbps=6_000.0,
+        video_size_range_kb=(20_000.0, 50_000.0),
+        buffer_capacity_s=60.0,
+        seed=seed,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+def _run(cfg, make_scheduler, backend, workload, instrumentation=None):
+    run_cfg = cfg.with_(kernel_backend=backend)
+    return Simulation(
+        run_cfg,
+        make_scheduler(run_cfg),
+        workload,
+        instrumentation=instrumentation,
+    ).run()
+
+
+def assert_results_bit_identical(a, b, backend):
+    for name in RESULT_ARRAYS:
+        assert (
+            getattr(a, name).tobytes() == getattr(b, name).tobytes()
+        ), f"{name} differs between numpy and {backend} backends"
+
+
+def _strip_kernel_keys(snapshot):
+    return {
+        family: {k: v for k, v in metrics.items() if not k.startswith("kernels.")}
+        for family, metrics in snapshot.items()
+    }
+
+
+class TestBackendBitIdentity:
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    @pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_all_schedulers_all_seeds(self, backend, sched_name, seed):
+        cfg = _cfg(seed)
+        wl = generate_workload(cfg)
+        r_np = _run(cfg, SCHEDULERS[sched_name], "numpy", wl)
+        r_alt = _run(cfg, SCHEDULERS[sched_name], backend, wl)
+        assert_results_bit_identical(r_np, r_alt, backend)
+
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    @pytest.mark.parametrize("sched_name", ["rtma", "ema"])
+    def test_vbr_uncapped(self, backend, sched_name):
+        cfg = _cfg(5, n_users=8, n_slots=200, vbr_segments=15,
+                   buffer_capacity_s=None)
+        wl = generate_workload(cfg)
+        r_np = _run(cfg, SCHEDULERS[sched_name], "numpy", wl)
+        r_alt = _run(cfg, SCHEDULERS[sched_name], backend, wl)
+        assert_results_bit_identical(r_np, r_alt, backend)
+
+
+class TestBackendMetricsEquivalence:
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    @pytest.mark.parametrize("sched_name", ["rtma", "ema"])
+    def test_metrics_identical_minus_kernel_keys(self, backend, sched_name):
+        cfg = _cfg(4, n_users=8, n_slots=200)
+        wl = generate_workload(cfg)
+        snaps = []
+        for name in ("numpy", backend):
+            instr = Instrumentation()
+            with use_instrumentation(instr):
+                _run(cfg, SCHEDULERS[sched_name], name, wl,
+                     instrumentation=instr)
+            snaps.append(instr.metrics.snapshot())
+        # Backend bookkeeping (kernels.backend, kernels.numba_version,
+        # compile times, fallback counters) legitimately differs.
+        assert _strip_kernel_keys(snaps[0]) == _strip_kernel_keys(snaps[1])
+
+
+class TestBackendTraceInvariants:
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    @pytest.mark.parametrize("sched_name", ["rtma", "ema"])
+    def test_backend_trace_is_violation_free(self, tmp_path, backend, sched_name):
+        cfg = _cfg(4, n_users=8, n_slots=200, kernel_backend=backend)
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTraceWriter(path)
+        Simulation(
+            cfg,
+            SCHEDULERS[sched_name](cfg),
+            instrumentation=Instrumentation(tracer=tracer),
+        ).run()
+        tracer.close()
+        ((tl, report),) = check_trace(path)
+        assert tl.scheduler == sched_name
+        assert report.ok, report.render()

@@ -1,0 +1,173 @@
+"""Backend selection, fallback warning, and registry dispatch."""
+
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import backend as backend_mod
+from repro.kernels import registry
+from repro.kernels.ema_dp import ema_dp_loops, ema_dp_numpy
+from repro.obs.instrument import Instrumentation, use_instrumentation
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_backend_state(monkeypatch):
+    monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+    backend_mod._reset_for_testing()
+    yield
+    backend_mod._reset_for_testing()
+
+
+class TestPrecedence:
+    def test_default_is_auto(self):
+        assert backend_mod.requested_backend() == "auto"
+        expected = "numba" if backend_mod.NUMBA_AVAILABLE else "numpy"
+        assert backend_mod.resolved_backend() == expected
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "python")
+        assert backend_mod.requested_backend() == "python"
+        assert backend_mod.resolved_backend() == "python"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "fortran")
+        with pytest.raises(ConfigurationError):
+            backend_mod.requested_backend()
+
+    def test_set_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "python")
+        backend_mod.set_backend("numpy")
+        assert backend_mod.requested_backend() == "numpy"
+        backend_mod.set_backend(None)
+        assert backend_mod.requested_backend() == "python"
+
+    def test_use_backend_beats_set_backend(self):
+        backend_mod.set_backend("numpy")
+        with backend_mod.use_backend("python"):
+            assert backend_mod.requested_backend() == "python"
+            with backend_mod.use_backend("numpy"):
+                assert backend_mod.requested_backend() == "numpy"
+            assert backend_mod.requested_backend() == "python"
+        assert backend_mod.requested_backend() == "numpy"
+
+    def test_invalid_names_raise(self):
+        with pytest.raises(ConfigurationError):
+            backend_mod.set_backend("rust")
+        with pytest.raises(ConfigurationError):
+            with backend_mod.use_backend("rust"):
+                pass  # pragma: no cover - never entered
+        # A rejected use_backend must not leave a dangling ambient entry.
+        assert backend_mod.requested_backend() == "auto"
+
+
+class TestAvailability:
+    def test_available_backends_shape(self):
+        avail = backend_mod.available_backends()
+        assert "numpy" in avail and "python" in avail
+        assert ("numba" in avail) == backend_mod.NUMBA_AVAILABLE
+
+    def test_numba_version_consistent(self):
+        version = backend_mod.numba_version()
+        assert (version is not None) == backend_mod.NUMBA_AVAILABLE
+
+    def test_backend_info_keys(self):
+        info = backend_mod.backend_info()
+        assert set(info) == {
+            "requested",
+            "resolved",
+            "available",
+            "numba_version",
+            "compile_times_s",
+        }
+        assert info["resolved"] in ("numpy", "numba", "python")
+
+
+@pytest.mark.skipif(
+    backend_mod.NUMBA_AVAILABLE, reason="fallback only happens without numba"
+)
+class TestMissingNumbaFallback:
+    def test_resolves_to_numpy_with_one_time_warning(self, caplog):
+        backend_mod.set_backend("numba")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert backend_mod.resolved_backend() == "numpy"
+            assert backend_mod.resolved_backend() == "numpy"
+        warnings = [r for r in caplog.records if "falling back" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "repro[speed]" in warnings[0].getMessage()
+
+    def test_fallback_counter_on_ambient_instrumentation(self):
+        instr = Instrumentation()
+        backend_mod.set_backend("numba")
+        with use_instrumentation(instr):
+            backend_mod.resolved_backend()
+        assert instr.metrics.counter("kernels.backend_fallback").value == 1
+
+    def test_resolve_falls_back_to_numpy_impl(self):
+        with backend_mod.use_backend("numba"):
+            assert registry.resolve("ema_dp") is ema_dp_numpy
+
+
+class TestRegistry:
+    def test_all_kernels_registered(self):
+        names = registry.kernel_names()
+        for expected in (
+            "ema_dp",
+            "rtma_rounds",
+            "fleet_begin_slot",
+            "fleet_deliver",
+            "rrc_step",
+            "rrc_idle_cost",
+        ):
+            assert expected in names
+
+    def test_explicit_backend_resolution(self):
+        assert registry.resolve("ema_dp", "numpy") is ema_dp_numpy
+        assert registry.resolve("ema_dp", "python") is ema_dp_loops
+
+    def test_ambient_backend_resolution(self):
+        with backend_mod.use_backend("python"):
+            assert registry.resolve("ema_dp") is ema_dp_loops
+        with backend_mod.use_backend("numpy"):
+            assert registry.resolve("ema_dp") is ema_dp_numpy
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ConfigurationError):
+            registry.resolve("matmul")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            registry.resolve("ema_dp", "rust")
+
+    def test_double_register_raises(self):
+        with pytest.raises(ConfigurationError):
+            registry.register(
+                "ema_dp", numpy=ema_dp_numpy, python=ema_dp_loops
+            )
+
+
+class TestCompileTimes:
+    def test_record_keeps_first_observation(self):
+        backend_mod.record_compile_time("unit_test_kernel", 1.5)
+        backend_mod.record_compile_time("unit_test_kernel", 99.0)
+        assert backend_mod.compile_times()["unit_test_kernel"] == 1.5
+
+    def test_time_first_call_records(self):
+        out = backend_mod.time_first_call("unit_test_timed", lambda x: x + 1, 41)
+        assert out == 42
+        assert backend_mod.compile_times()["unit_test_timed"] >= 0.0
+
+
+class TestConfigValidation:
+    def test_config_accepts_known_backends(self):
+        for name in ("auto", "numpy", "numba", "python"):
+            cfg = SimConfig(n_users=2, n_slots=5, kernel_backend=name)
+            assert cfg.kernel_backend == name
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(n_users=2, n_slots=5, kernel_backend="rust")
+
+    def test_config_default_defers(self):
+        assert SimConfig(n_users=2, n_slots=5).kernel_backend is None

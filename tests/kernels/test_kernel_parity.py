@@ -1,0 +1,256 @@
+"""Bit-identity of the loop (numba-source) kernels vs the numpy kernels.
+
+Every registered kernel has a vectorised numpy implementation and a
+loop implementation (the numba source, run interpreted here).  The
+backend contract is *bit-identity* — same output bytes for the same
+inputs — which is what lets ``SimConfig.kernel_backend`` switch
+backends without perturbing any result.  These tests hammer each pair
+with randomized instances shaped like the production call sites.
+
+On machines with Numba the same checks run against the JIT-compiled
+kernels too (the compiled function executes the loop source).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import SlotArena, available_backends, registry
+
+RNG_TRIALS = 200
+
+#: Backends to pit against the numpy reference.
+ALT_BACKENDS = [b for b in available_backends() if b != "numpy"]
+
+
+def resolve_pair(name, alt):
+    return registry.resolve(name, "numpy"), registry.resolve(name, alt)
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+class TestEmaDpParity:
+    def test_randomized(self, alt):
+        k_np, k_alt = resolve_pair("ema_dp", alt)
+        rng = np.random.default_rng(7)
+        for _ in range(RNG_TRIALS):
+            n_users = int(rng.integers(1, 8))
+            n_active = int(rng.integers(1, n_users + 1))
+            n_states = int(rng.integers(1, 40))
+            active_idx = np.sort(
+                rng.choice(n_users, size=n_active, replace=False)
+            ).astype(np.int64)
+            w_eff = rng.integers(0, n_states + 1, size=n_active).astype(np.int64)
+            origin = w_eff - w_eff // 2 - 1
+            slope = rng.normal(0.0, 5.0, size=n_active)
+            const = rng.uniform(0.0, 10.0, size=n_active)
+            idle = rng.uniform(0.0, 5.0, size=n_active)
+            m_idx = np.arange(n_states, dtype=float)
+
+            outs = []
+            for kern in (k_np, k_alt):
+                phi = np.zeros(n_users, dtype=np.int64)
+                rows = np.empty((n_active, n_states), dtype=float)
+                fscratch = np.empty(4 * n_states, dtype=float)
+                iscratch = np.empty(n_states, dtype=np.int64)
+                m_star = kern(
+                    phi,
+                    active_idx,
+                    w_eff,
+                    origin,
+                    slope,
+                    const,
+                    idle,
+                    rows,
+                    m_idx,
+                    fscratch,
+                    iscratch,
+                )
+                outs.append((int(m_star), phi.tobytes(), rows.tobytes()))
+            assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+class TestRtmaRoundsParity:
+    def test_randomized(self, alt):
+        k_np, k_alt = resolve_pair("rtma_rounds", alt)
+        rng = np.random.default_rng(11)
+        for _ in range(RNG_TRIALS):
+            n = int(rng.integers(1, 12))
+            eligible = rng.random(n) < 0.7
+            need = rng.integers(1, 10, size=n).astype(np.int64)
+            cap = rng.integers(0, 20, size=n).astype(np.int64)
+            order = np.argsort(rng.uniform(0, 1, size=n), kind="stable")
+            budget = int(rng.integers(0, 60))
+
+            outs = []
+            for kern in (k_np, k_alt):
+                phi = np.zeros(n, dtype=np.int64)
+                left = kern(phi, eligible, need, cap, order, budget)
+                outs.append((int(left), phi.tobytes()))
+            assert outs[0] == outs[1]
+
+
+def _fleet_state(rng, n):
+    size = rng.uniform(100.0, 5000.0, size=n)
+    delivered = np.minimum(rng.uniform(0.0, 6000.0, size=n), size)
+    # A fraction of users are exactly fully delivered.
+    exact = rng.random(n) < 0.3
+    delivered[exact] = size[exact]
+    dplay = rng.uniform(0.0, 50.0, size=n)
+    elapsed = np.minimum(rng.uniform(0.0, 60.0, size=n), dplay)
+    done = rng.random(n) < 0.3
+    elapsed[done] = dplay[done]
+    return size, delivered, dplay, elapsed
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+class TestFleetBeginSlotParity:
+    def test_randomized(self, alt):
+        k_np, k_alt = resolve_pair("fleet_begin_slot", alt)
+        rng = np.random.default_rng(13)
+        for trial in range(RNG_TRIALS):
+            n = int(rng.integers(1, 12))
+            slot = int(rng.integers(0, 30))
+            tau = float(rng.uniform(0.5, 2.0))
+            cap = np.inf if trial % 3 == 0 else float(rng.uniform(5.0, 60.0))
+            arrival = rng.integers(0, 25, size=n).astype(np.int64)
+            size, delivered, dplay, elapsed = _fleet_state(rng, n)
+            occ = rng.uniform(0.0, 40.0, size=n)
+            pend = rng.uniform(0.0, 5.0, size=n)
+            began = rng.random(n) < 0.5
+            total = rng.uniform(0.0, 20.0, size=n)
+
+            outs = []
+            for kern in (k_np, k_alt):
+                o = [np.empty(n) for _ in range(5)]
+                began_out = np.empty(n, dtype=bool)
+                fs, bs = np.empty(2 * n), np.empty(4 * n, dtype=bool)
+                kern(
+                    slot, tau, cap, arrival, size, delivered, dplay,
+                    occ, pend, began, elapsed, total,
+                    o[0], o[1], began_out, o[2], o[3], o[4], fs, bs,
+                )
+                outs.append(
+                    b"".join(a.tobytes() for a in o) + began_out.tobytes()
+                )
+            assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+class TestFleetDeliverParity:
+    def test_randomized(self, alt):
+        k_np, k_alt = resolve_pair("fleet_deliver", alt)
+        rng = np.random.default_rng(17)
+        for trial in range(RNG_TRIALS):
+            n = int(rng.integers(1, 12))
+            tau = float(rng.uniform(0.5, 2.0))
+            cap = np.inf if trial % 3 == 0 else float(rng.uniform(5.0, 60.0))
+            offer = rng.uniform(0.0, 800.0, size=n)
+            rates = rng.uniform(50.0, 700.0, size=n)
+            size, delivered, dplay, _ = _fleet_state(rng, n)
+            occ = rng.uniform(0.0, 40.0, size=n)
+            pend = rng.uniform(0.0, 5.0, size=n)
+
+            outs = []
+            for kern in (k_np, k_alt):
+                o = [np.empty(n) for _ in range(4)]
+                fs, bs = np.empty(2 * n), np.empty(4 * n, dtype=bool)
+                err = kern(
+                    tau, cap, offer, rates, size, delivered, dplay,
+                    occ, pend, o[0], o[1], o[2], o[3], fs, bs,
+                )
+                outs.append((int(err), b"".join(a.tobytes() for a in o)))
+            assert outs[0] == outs[1]
+
+    def test_error_code_on_nonpositive_rate(self, alt):
+        k_np, k_alt = resolve_pair("fleet_deliver", alt)
+        n = 2
+        args = dict(
+            offer=np.array([10.0, 10.0]),
+            rates=np.array([0.0, 300.0]),
+            size=np.array([100.0, 100.0]),
+            delivered=np.array([0.0, 0.0]),
+            dplay=np.array([0.0, 0.0]),
+            occ=np.array([0.0, 0.0]),
+            pend=np.array([0.0, 0.0]),
+        )
+        for kern in (k_np, k_alt):
+            o = [np.empty(n) for _ in range(4)]
+            fs, bs = np.empty(2 * n), np.empty(4 * n, dtype=bool)
+            err = kern(
+                1.0, np.inf, args["offer"], args["rates"], args["size"],
+                args["delivered"], args["dplay"], args["occ"], args["pend"],
+                o[0], o[1], o[2], o[3], fs, bs,
+            )
+            assert err == 1
+
+
+@pytest.mark.parametrize("alt", ALT_BACKENDS)
+class TestRrcParity:
+    def test_step_randomized(self, alt):
+        k_np, k_alt = resolve_pair("rrc_step", alt)
+        rng = np.random.default_rng(19)
+        for _ in range(RNG_TRIALS):
+            n = int(rng.integers(1, 12))
+            dt = float(rng.uniform(0.5, 2.0))
+            pd, pf = float(rng.uniform(0, 1200)), float(rng.uniform(0, 800))
+            t1, t2 = float(rng.uniform(0, 8)), float(rng.uniform(0, 8))
+            tx = rng.random(n) < 0.4
+            age = rng.uniform(0.0, t1 + t2 + 2.0, size=n)
+            ever = rng.random(n) < 0.7
+
+            outs = []
+            for kern in (k_np, k_alt):
+                age_out = np.empty(n)
+                ever_out = np.empty(n, dtype=bool)
+                tail_out = np.empty(n)
+                fs, bs = np.empty(2 * n), np.empty(n, dtype=bool)
+                kern(dt, pd, pf, t1, t2, tx, age, ever,
+                     age_out, ever_out, tail_out, fs, bs)
+                outs.append(
+                    age_out.tobytes() + ever_out.tobytes() + tail_out.tobytes()
+                )
+            assert outs[0] == outs[1]
+
+    def test_idle_cost_randomized(self, alt):
+        k_np, k_alt = resolve_pair("rrc_idle_cost", alt)
+        rng = np.random.default_rng(23)
+        for _ in range(RNG_TRIALS):
+            n = int(rng.integers(1, 12))
+            dt = float(rng.uniform(0.5, 2.0))
+            pd, pf = float(rng.uniform(0, 1200)), float(rng.uniform(0, 800))
+            t1, t2 = float(rng.uniform(0, 8)), float(rng.uniform(0, 8))
+            age = rng.uniform(0.0, t1 + t2 + 2.0, size=n)
+            ever = rng.random(n) < 0.7
+
+            outs = []
+            for kern in (k_np, k_alt):
+                out = np.empty(n)
+                fs, bs = np.empty(2 * n), np.empty(n, dtype=bool)
+                kern(dt, pd, pf, t1, t2, age, ever, out, fs, bs)
+                outs.append(out.tobytes())
+            assert outs[0] == outs[1]
+
+
+class TestSlotArena:
+    def test_buffer_shapes_and_dtypes(self):
+        arena = SlotArena(7)
+        assert arena.n_users == 7
+        assert arena.link_units.dtype == np.int64
+        assert arena.active.dtype == bool
+        for name in (
+            "p_mj_per_kb",
+            "remaining_kb",
+            "receivable_kb",
+            "idle_tail_cost_mj",
+            "want_kb",
+            "accepted_kb",
+            "drained_kb",
+            "f8_tmp",
+        ):
+            buf = getattr(arena, name)
+            assert buf.shape == (7,) and buf.dtype == np.float64
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            SlotArena(0)
