@@ -161,11 +161,20 @@ def test_engine_100_slots(benchmark, sched_name):
     assert res.delivered_kb.sum() > 0
 
 
-@pytest.mark.parametrize("instrumented", [False, True], ids=["plain", "null-tracer"])
-def test_engine_200_slots_instrumentation_overhead(benchmark, instrumented):
-    """The observability acceptance gate: attaching an Instrumentation
-    bundle with the default ``NullTracer`` must cost < 2% wall clock on
-    a 200-slot / 20-user run (compare the two parametrisations)."""
+@pytest.mark.parametrize(
+    "mode", ["plain", "null-tracer", "live"], ids=["plain", "null-tracer", "live"]
+)
+def test_engine_200_slots_instrumentation_overhead(benchmark, mode):
+    """The observability acceptance gates, against the "plain" run:
+
+    * ``null-tracer`` — an Instrumentation bundle with the default
+      ``NullTracer`` must cost < 2% wall clock;
+    * ``live`` — a full live telemetry plane (streaming aggregators on
+      four channels plus an SLO watchdog evaluated every 64 slots)
+      must cost < 3%.
+
+    Both on a 200-slot / 20-user run; compare the parametrisations.
+    """
     cfg = SimConfig(
         n_users=20,
         n_slots=200,
@@ -174,9 +183,22 @@ def test_engine_200_slots_instrumentation_overhead(benchmark, instrumented):
         seed=1,
     )
 
+    def make_instr():
+        if mode == "plain":
+            return None
+        if mode == "live":
+            from repro.obs.live import LiveTelemetry
+
+            live = LiveTelemetry(
+                rules=("p95(rebuffer_s) < 1e12", "mean(slot_energy_mj) >= 0")
+            )
+            return Instrumentation(tracer=NullTracer(), live=live)
+        return Instrumentation(tracer=NullTracer())
+
     def run():
-        instr = Instrumentation(tracer=NullTracer()) if instrumented else None
-        return Simulation(cfg, DefaultScheduler(), instrumentation=instr).run()
+        return Simulation(
+            cfg, DefaultScheduler(), instrumentation=make_instr()
+        ).run()
 
     res = benchmark.pedantic(run, rounds=5, warmup_rounds=2, iterations=1)
     assert res.delivered_kb.sum() > 0

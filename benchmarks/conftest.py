@@ -91,7 +91,13 @@ def _gate(
 def _scaling_gauges(path) -> dict:
     from repro.obs.compare import load_metrics
 
-    return dict(load_metrics(path).get("gauges") or {})
+    # Merge the numeric "gauges" section with the non-numeric "info"
+    # partition; committed baselines predating the split keep string
+    # gauges (scaling.backend) under "gauges".
+    metrics = load_metrics(path)
+    merged = dict(metrics.get("gauges") or {})
+    merged.update(metrics.get("info") or {})
+    return merged
 
 
 def _gate_scaling(session, threshold: float) -> None:

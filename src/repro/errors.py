@@ -38,5 +38,22 @@ class SimulationError(ReproError, RuntimeError):
     """The simulation engine entered an invalid state."""
 
 
+class SloViolation(SimulationError):
+    """A live SLO watchdog rule fired with ``action="abort"``.
+
+    Attributes
+    ----------
+    rule:
+        The violated rule's source text (e.g. ``"p95(rebuffer_s) < 0.5"``).
+    observed:
+        The aggregate value that broke the bound.
+    """
+
+    def __init__(self, message: str, rule: str | None = None, observed: float | None = None):
+        self.rule = rule
+        self.observed = observed
+        super().__init__(message)
+
+
 class TraceError(ReproError, ValueError):
     """A supplied signal/bitrate trace is malformed (shape, range, NaNs)."""

@@ -9,12 +9,27 @@ parallelising every sweep / comparison / calibration grid underneath
 (results and metrics are bit-identical to ``--jobs 1``; per-slot trace
 events stay worker-local, so use ``--jobs 1`` with ``--report-dir``
 when the full slot stream matters).
+
+Live telemetry flags (see :mod:`repro.obs.live` and the
+"Watching a run live" section of EXPERIMENTS.md):
+
+* ``--export out/prom.txt`` — push Prometheus-text + JSON snapshots
+  while the run executes (``repro-watch out/prom.json`` tails them);
+* ``--serve 9464`` — stdlib HTTP pull endpoint (``/metrics``,
+  ``/metrics.json``) for the run's duration;
+* ``--watch`` — render the terminal dashboard to stderr every second;
+* ``--slo "p95(rebuffer_s) < 0.5"`` (repeatable) + ``--slo-action
+  warn|abort`` — online SLO watchdog; ``abort`` exits with code 3 on
+  the first violation.
+
+Any live flag enables executor heartbeats when ``--jobs > 1``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 from collections.abc import Callable
 
@@ -108,6 +123,39 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for batched runs (sweeps, comparisons, "
         "calibration grids); results are bit-identical to --jobs 1",
     )
+    run_p.add_argument(
+        "--watch",
+        action="store_true",
+        help="render the live dashboard to stderr every second",
+    )
+    run_p.add_argument(
+        "--export",
+        default=None,
+        metavar="PROM_PATH",
+        help="push Prometheus-text (+ sibling .json) snapshots here "
+        "while the run executes",
+    )
+    run_p.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics and /metrics.json on 127.0.0.1:PORT for "
+        "the run's duration (0 picks a free port)",
+    )
+    run_p.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help='online SLO rule, e.g. "p95(rebuffer_s) < 0.5" (repeatable)',
+    )
+    run_p.add_argument(
+        "--slo-action",
+        choices=("warn", "abort"),
+        default="warn",
+        help="what a firing SLO rule does (abort exits with code 3)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -115,21 +163,84 @@ def main(argv: list[str] | None = None) -> int:
             print(exp_id)
         return 0
 
+    live_on = bool(
+        args.watch or args.export or args.serve is not None or args.slo
+    )
+    live = server = None
+    stop_watch = threading.Event()
+    if live_on:
+        from repro.errors import SloViolation
+        from repro.obs.live import (
+            LiveTelemetry,
+            MetricsServer,
+            SnapshotExporter,
+            logging_setup,
+        )
+        from repro.obs.live.watch import render_dashboard
+
+        logging_setup()
+        exporter = SnapshotExporter(args.export) if args.export else None
+        live = LiveTelemetry(
+            rules=tuple(args.slo), action=args.slo_action, exporter=exporter
+        )
+        if args.serve is not None:
+            server = MetricsServer(live.snapshot, port=args.serve).start()
+            live.server = server
+            print(f"[metrics endpoint: {server.url}]", file=sys.stderr)
+        if args.watch:
+
+            def _watch_loop() -> None:
+                while not stop_watch.wait(1.0):
+                    stamp = time.strftime("%H:%M:%S")
+                    frame = render_dashboard(live.snapshot())
+                    print(
+                        f"── live {stamp} " + "─" * 24 + f"\n{frame}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+
+            threading.Thread(
+                target=_watch_loop, name="repro-live-watch", daemon=True
+            ).start()
+
+    heartbeat_s = 1.0 if (live_on and args.jobs > 1) else None
     ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
-    with use_executor(RunExecutor(jobs=args.jobs)):
-        for exp_id in ids:
-            start = time.perf_counter()
-            if args.report_dir is not None:
-                result = _run_with_report(exp_id, args)
-            else:
-                result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-            elapsed = time.perf_counter() - start
-            print(result.to_markdown() if args.markdown else result.render())
-            print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
-    return 0
+    exit_code = 0
+    try:
+        with use_executor(RunExecutor(jobs=args.jobs, heartbeat_s=heartbeat_s)):
+            for exp_id in ids:
+                start = time.perf_counter()
+                if args.report_dir is not None:
+                    result = _run_with_report(exp_id, args, live=live)
+                else:
+                    instr = Instrumentation(live=live) if live is not None else None
+                    result = run_experiment(
+                        exp_id,
+                        scale=args.scale,
+                        seed=args.seed,
+                        instrumentation=instr,
+                    )
+                elapsed = time.perf_counter() - start
+                print(result.to_markdown() if args.markdown else result.render())
+                print(f"[{exp_id} done in {elapsed:.1f}s]\n", file=sys.stderr)
+    except Exception as exc:
+        if live_on and isinstance(exc, SloViolation):
+            print(f"[aborted: {exc}]", file=sys.stderr)
+            exit_code = 3
+        else:
+            raise
+    finally:
+        stop_watch.set()
+        if server is not None:
+            server.stop()
+        if live is not None:
+            live.close()
+            if args.export:
+                print(f"[snapshots: {args.export}]", file=sys.stderr)
+    return exit_code
 
 
-def _run_with_report(exp_id: str, args) -> ExperimentResult:
+def _run_with_report(exp_id: str, args, live=None) -> ExperimentResult:
     """Run one experiment fully traced and leave a reviewable run dir."""
     from pathlib import Path
 
@@ -138,7 +249,7 @@ def _run_with_report(exp_id: str, args) -> ExperimentResult:
 
     out_dir = Path(args.report_dir) / exp_id
     tracer = JsonlTraceWriter(out_dir / "trace.jsonl")
-    instr = Instrumentation(tracer=tracer)
+    instr = Instrumentation(tracer=tracer, live=live)
     try:
         result = run_experiment(
             exp_id, scale=args.scale, seed=args.seed, instrumentation=instr

@@ -21,6 +21,12 @@ On top of the emission side sits the analysis/verification backend:
 * :mod:`repro.obs.report` — self-contained HTML run reports
   (``repro-report``).
 
+And beside both, the **live telemetry plane** (:mod:`repro.obs.live`):
+streaming aggregators (EWMA / Welford / P² quantile sketches), an
+online SLO watchdog, executor heartbeats with stall detection, and a
+Prometheus/JSON exporter with the ``repro-watch`` dashboard — the same
+signals, observed *while* the run executes.
+
 Quick taste::
 
     from repro.obs import Instrumentation, RecordingTracer, use_instrumentation
@@ -52,6 +58,13 @@ from repro.obs.instrument import (
     current_instrumentation,
     use_instrumentation,
 )
+from repro.obs.live import (
+    LiveTelemetry,
+    MetricsServer,
+    SloWatchdog,
+    SnapshotExporter,
+    logging_setup,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler, PhaseTimer, null_phase
 from repro.obs.provenance import RunManifest, build_manifest, config_hash, git_revision
@@ -76,6 +89,11 @@ __all__ = [
     "Instrumentation",
     "use_instrumentation",
     "current_instrumentation",
+    "LiveTelemetry",
+    "SloWatchdog",
+    "SnapshotExporter",
+    "MetricsServer",
+    "logging_setup",
     "Tracer",
     "NullTracer",
     "RecordingTracer",

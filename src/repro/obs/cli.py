@@ -26,6 +26,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
@@ -36,6 +37,8 @@ from repro.obs.provenance import build_manifest
 from repro.obs.tracer import JsonlTraceWriter
 
 __all__ = ["main", "QUICKSTART"]
+
+log = logging.getLogger("repro.obs.cli")
 
 #: The built-in smoke scenario: a small contended cell that finishes in
 #: seconds (used by CI to validate the tracing pipeline end to end).
@@ -118,12 +121,14 @@ def main(argv: list[str] | None = None) -> int:
         p for p in (out_dir / "trace.jsonl", out_dir / "trace.jsonl.gz") if p.exists()
     ]
     if existing and not args.force:
+        log.warning("refusing to overwrite %s (run with --force)", existing[0])
         print(
             f"error: {existing[0]} already exists; pass --force to overwrite",
             file=sys.stderr,
         )
         return 2
     for stale in existing:
+        log.warning("overwriting existing trace %s (--force)", stale)
         stale.unlink()
     trace_name = "trace.jsonl.gz" if args.gzip else "trace.jsonl"
     tracer = JsonlTraceWriter(out_dir / trace_name)

@@ -1,10 +1,14 @@
 """The :class:`Instrumentation` bundle and the ambient-instrumentation context.
 
-One object carries the three observability facets through the pipeline:
+One object carries the observability facets through the pipeline:
 
 * ``tracer`` — structured events (:mod:`repro.obs.tracer`);
 * ``metrics`` — counters/gauges/histograms (:mod:`repro.obs.metrics`);
-* ``profiler`` — per-phase wall-clock timing (:mod:`repro.obs.profiler`).
+* ``profiler`` — per-phase wall-clock timing (:mod:`repro.obs.profiler`);
+* ``live`` — the optional live telemetry plane
+  (:mod:`repro.obs.live`): streaming aggregators, the SLO watchdog,
+  heartbeats, and snapshot export, fed once per engine slot.  ``None``
+  (the default) costs the hot loop a single attribute test.
 
 Passing the bundle explicitly (``Simulation(cfg, sched,
 instrumentation=instr)`` or ``run_scheduler(..., instrumentation=instr)``)
@@ -45,20 +49,29 @@ class Instrumentation:
     without writing a trace anywhere.
     """
 
-    __slots__ = ("tracer", "metrics", "profiler")
+    __slots__ = ("tracer", "metrics", "profiler", "live")
 
     def __init__(
         self,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
+        live=None,
     ):
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        #: Optional :class:`repro.obs.live.LiveTelemetry`; bound to the
+        #: sibling facets so its watchdog/exporter see this bundle's
+        #: metrics and tracer.
+        self.live = live
+        if live is not None:
+            live.bind(self.metrics, self.tracer)
 
     def close(self) -> None:
-        """Close the underlying tracer (flushes file-backed writers)."""
+        """Close the tracer (flushes file-backed writers) and the live plane."""
+        if self.live is not None:
+            self.live.close()
         self.tracer.close()
 
     def __enter__(self) -> "Instrumentation":

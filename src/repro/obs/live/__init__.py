@@ -1,0 +1,67 @@
+"""``repro.obs.live`` — the live telemetry plane.
+
+Everything PR 1-2's post-hoc observability shows *after* a run, this
+package surfaces *while the run executes*, with bounded overhead:
+
+* :mod:`~repro.obs.live.aggregators` — allocation-light online stats
+  (EWMA, Welford, P² streaming quantiles, per-channel composites);
+* :mod:`~repro.obs.live.slo` — declarative SLO rules
+  (``p95(rebuffer_s) < 0.5``) evaluated online, warn or abort;
+* :mod:`~repro.obs.live.heartbeat` — executor worker heartbeats +
+  straggler/stall detection;
+* :mod:`~repro.obs.live.exporter` — Prometheus-text / JSON snapshot
+  export (atomic file push + stdlib HTTP pull endpoint);
+* :mod:`~repro.obs.live.plane` — :class:`LiveTelemetry`, the composite
+  that rides :class:`~repro.obs.instrument.Instrumentation` as its
+  fourth facet and receives one call per engine slot;
+* :mod:`~repro.obs.live.watch` — the ``repro-watch`` terminal
+  dashboard tailing a pushed snapshot or polling a pull endpoint;
+* :mod:`~repro.obs.live.logs` — :func:`logging_setup` for the
+  ``repro.*`` logger hierarchy (``$REPRO_LOG_LEVEL``).
+
+Quick taste::
+
+    from repro.obs import Instrumentation
+    from repro.obs.live import LiveTelemetry, SnapshotExporter
+
+    live = LiveTelemetry(
+        rules=("p95(rebuffer_s) < 0.5", "max(slot_energy_mj) <= 150"),
+        exporter=SnapshotExporter("out/prom.txt"),
+    )
+    instr = Instrumentation(live=live)
+    run_scheduler(cfg, EMAScheduler(cfg.n_users), instrumentation=instr)
+    # out/prom.txt + out/prom.json refresh while the run executes;
+    # violations emit "slo.alert" trace events and tick slo.alerts.
+"""
+
+from repro.obs.live.aggregators import Ewma, P2Quantile, StreamStat, Welford
+from repro.obs.live.exporter import (
+    MetricsServer,
+    SnapshotExporter,
+    prometheus_name,
+    prometheus_text,
+)
+from repro.obs.live.heartbeat import HeartbeatEmitter, HeartbeatMonitor
+from repro.obs.live.logs import LOG_LEVEL_ENV, logging_setup
+from repro.obs.live.plane import LiveTelemetry
+from repro.obs.live.slo import SloRule, SloWatchdog, parse_rule, rules_from_spec
+
+__all__ = [
+    "Ewma",
+    "Welford",
+    "P2Quantile",
+    "StreamStat",
+    "SloRule",
+    "SloWatchdog",
+    "parse_rule",
+    "rules_from_spec",
+    "HeartbeatEmitter",
+    "HeartbeatMonitor",
+    "prometheus_name",
+    "prometheus_text",
+    "SnapshotExporter",
+    "MetricsServer",
+    "LiveTelemetry",
+    "logging_setup",
+    "LOG_LEVEL_ENV",
+]

@@ -1,0 +1,309 @@
+"""Metrics export: Prometheus text, JSON snapshots, file push, HTTP pull.
+
+Three surfaces over one snapshot shape (the dict produced by
+:meth:`repro.obs.live.plane.LiveTelemetry.snapshot`, a superset of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`):
+
+* :func:`prometheus_text` — renders every numeric metric (counters,
+  numeric gauges, histogram summaries, live aggregates, worker table)
+  in the Prometheus text exposition format; non-numeric gauges become
+  ``*_info`` label metrics;
+* :class:`SnapshotExporter` — time-gated atomic file push of both the
+  Prometheus text and the JSON snapshot (what ``repro-watch`` tails);
+* :class:`MetricsServer` — a stdlib :mod:`http.server` pull endpoint
+  serving ``/metrics`` (Prometheus) and ``/metrics.json`` on a daemon
+  thread.
+
+Every numeric metric in a ``metrics.json`` snapshot appears in the
+Prometheus rendering with a matching value (round-trip pinned by
+``tests/obs/test_live_exporter.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "prometheus_name",
+    "prometheus_text",
+    "SnapshotExporter",
+    "MetricsServer",
+]
+
+log = logging.getLogger("repro.obs.live.exporter")
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """``engine.slots`` -> ``repro_engine_slots`` (Prometheus-safe)."""
+    safe = _NAME_RE.sub("_", name).strip("_")
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _numeric_leaves(node: Any) -> bool:
+    """True when ``node`` is a number or a (nested) list of numbers."""
+    if isinstance(node, bool):
+        return False
+    if isinstance(node, (int, float)):
+        return True
+    if isinstance(node, (list, tuple)):
+        return all(_numeric_leaves(v) for v in node)
+    return False
+
+
+def prometheus_text(snapshot: dict[str, Any], prefix: str = "repro") -> str:
+    """Render a metrics/live snapshot in the Prometheus text format."""
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: float, labels: str = "") -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {_fmt(value)}")
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        emit(prometheus_name(name, prefix) + "_total", "counter", value)
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = prometheus_name(name, prefix)
+        if isinstance(value, (list, tuple)):
+            lines.append(f"# TYPE {pname} gauge")
+            for i, item in enumerate(value):
+                lines.append(f'{pname}{{index="{i}"}} {_fmt(item)}')
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            emit(pname, "gauge", value)
+
+    for name, value in sorted(snapshot.get("info", {}).items()):
+        pname = prometheus_name(name, prefix) + "_info"
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f'{pname}{{value="{_escape_label(value)}"}} 1')
+
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        pname = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {pname} summary")
+        for q_key in ("p50", "p95"):
+            if q_key in summary:
+                q = float(q_key[1:]) / 100.0
+                lines.append(f'{pname}{{quantile="{q}"}} {_fmt(summary[q_key])}')
+        if "total" in summary:
+            lines.append(f"{pname}_sum {_fmt(summary['total'])}")
+        lines.append(f"{pname}_count {_fmt(summary.get('count', 0))}")
+        for stat_key in ("mean", "min", "max"):
+            if stat_key in summary:
+                emit(f"{pname}_{stat_key}", "gauge", summary[stat_key])
+
+    for name, stats in sorted(snapshot.get("live", {}).items()):
+        pname = prometheus_name(f"live.{name}", prefix)
+        if isinstance(stats, dict):
+            lines.append(f"# TYPE {pname} summary")
+            for key, value in sorted(stats.items()):
+                if key.startswith("p") and key[1:].isdigit():
+                    q = float(key[1:]) / 100.0
+                    lines.append(f'{pname}{{quantile="{q}"}} {_fmt(value)}')
+                elif key == "count":
+                    lines.append(f"{pname}_count {_fmt(value)}")
+                else:
+                    emit(f"{pname}_{key}", "gauge", value)
+        elif isinstance(stats, (int, float)) and not isinstance(stats, bool):
+            emit(pname, "gauge", stats)
+
+    executor = snapshot.get("executor")
+    if executor:
+        emit(prometheus_name("executor.workers", prefix), "gauge", executor.get("n_workers", 0))
+        emit(
+            prometheus_name("executor.stalled_workers", prefix),
+            "gauge",
+            len(executor.get("stalled", [])),
+        )
+        for worker, entry in sorted(executor.get("workers", {}).items()):
+            labels = f'{{worker="{_escape_label(worker)}"}}'
+            for key, kind in (("slots_done", "gauge"), ("slots_per_s", "gauge")):
+                value = entry.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    pname = prometheus_name(f"executor.worker.{key}", prefix)
+                    lines.append(f"# TYPE {pname} gauge")
+                    lines.append(f"{pname}{labels} {_fmt(value)}")
+
+    alerts = snapshot.get("alerts")
+    if alerts is not None:
+        emit(
+            prometheus_name("slo.alerts.recent", prefix),
+            "gauge",
+            len(alerts),
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class SnapshotExporter:
+    """Pushes snapshots to disk: Prometheus text + JSON, atomically.
+
+    Parameters
+    ----------
+    prom_path:
+        Target for the Prometheus text rendering (``None`` skips it).
+    json_path:
+        Target for the raw JSON snapshot; defaults to ``prom_path``
+        with a ``.json`` suffix, so ``--export prom.txt`` leaves
+        ``prom.json`` next to it for ``repro-watch``.
+    every_s:
+        Minimum seconds between pushes via :meth:`maybe_push`
+        (calling :meth:`push` directly ignores the gate — run end does).
+    """
+
+    def __init__(
+        self,
+        prom_path: str | Path | None = None,
+        json_path: str | Path | None = None,
+        every_s: float = 1.0,
+    ):
+        self.prom_path = Path(prom_path) if prom_path is not None else None
+        if json_path is None and self.prom_path is not None:
+            json_path = self.prom_path.with_suffix(".json")
+        self.json_path = Path(json_path) if json_path is not None else None
+        self.every_s = float(every_s)
+        self._last_push = float("-inf")
+        self.n_pushes = 0
+        for path in (self.prom_path, self.json_path):
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+
+    def maybe_push(self, snapshot: dict[str, Any]) -> bool:
+        if time.monotonic() - self._last_push < self.every_s:
+            return False
+        self.push(snapshot)
+        return True
+
+    def push(self, snapshot: dict[str, Any]) -> None:
+        self._last_push = time.monotonic()
+        try:
+            if self.prom_path is not None:
+                _atomic_write(self.prom_path, prometheus_text(snapshot))
+            if self.json_path is not None:
+                _atomic_write(
+                    self.json_path, json.dumps(snapshot, default=_json_default) + "\n"
+                )
+            self.n_pushes += 1
+        except OSError as exc:  # disk full / perms: degrade, don't crash runs
+            log.warning("metrics export to %s failed: %s", self.prom_path, exc)
+
+
+def _json_default(value: Any) -> Any:
+    try:
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.generic):
+            return value.item()
+    except ImportError:  # pragma: no cover
+        pass
+    return repr(value)
+
+
+class MetricsServer:
+    """Stdlib HTTP pull endpoint on a daemon thread.
+
+    ``GET /metrics`` serves the Prometheus rendering, ``GET
+    /metrics.json`` (or ``/``) the JSON snapshot, both computed from
+    ``snapshot_fn()`` at request time.  ``port=0`` binds an ephemeral
+    port (read :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], dict[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 9464,
+    ):
+        self.snapshot_fn = snapshot_fn
+        self.host = host
+        self.port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "MetricsServer":
+        snapshot_fn = self.snapshot_fn
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                try:
+                    snap = snapshot_fn()
+                    if self.path.rstrip("/") in ("", "/metrics.json".rstrip("/")):
+                        body = json.dumps(snap, default=_json_default).encode()
+                        ctype = "application/json"
+                    elif self.path == "/metrics":
+                        body = prometheus_text(snap).encode()
+                        ctype = "text/plain; version=0.0.4"
+                    else:
+                        self.send_error(404)
+                        return
+                except Exception as exc:  # snapshot raced a shutdown
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # keep stderr clean
+                pass
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("metrics endpoint listening on http://%s:%d/metrics", self.host, self.port)
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,244 @@
+"""Executor worker health: heartbeat emission and stall detection.
+
+Worker processes (and the in-process engine, when asked) emit small
+heartbeat dicts over a multiprocessing queue::
+
+    {"worker": "w-1234", "ts": <monotonic>, "phase": "slots",
+     "task": 3, "slots_done": 512, "n_slots": 4000, "slots_per_s": 812.5,
+     "stats": {"rebuffer_s": {...}, "slot_energy_mj": {...}}}
+
+The parent's :class:`HeartbeatMonitor` drains the queue on a daemon
+thread, keeps a per-worker table (last beat, progress, rate), counts
+beats into the metrics registry, and flags **stragglers**: a worker
+mid-task that has not beaten for ``stall_after_s`` fires one
+``executor.stall`` trace event + ``executor.stalls`` counter increment
+(cleared when the worker resumes).  The table is exposed through
+:meth:`HeartbeatMonitor.snapshot` for the exporter and the
+``repro-watch`` dashboard.
+
+Emission is strictly fire-and-forget: a full or broken queue drops the
+beat rather than ever blocking or failing the simulation.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from typing import Any
+
+__all__ = ["HeartbeatEmitter", "HeartbeatMonitor"]
+
+log = logging.getLogger("repro.obs.live.heartbeat")
+
+
+class HeartbeatEmitter:
+    """Worker-side heartbeat source (picklable-queue fed, time-gated).
+
+    ``beat(...)`` sends immediately; ``maybe_beat(...)`` sends at most
+    once per ``every_s`` and is the call sites' per-slot entry point.
+    """
+
+    __slots__ = ("queue", "worker", "every_s", "task", "_last_ts")
+
+    def __init__(self, queue, worker: str | None = None, every_s: float = 1.0):
+        self.queue = queue
+        self.worker = worker if worker is not None else f"w-{os.getpid()}"
+        self.every_s = float(every_s)
+        self.task: int | None = None
+        self._last_ts = float("-inf")
+
+    def beat(self, phase: str, **fields: Any) -> None:
+        """Send one heartbeat now (never blocks, never raises)."""
+        now = time.monotonic()
+        self._last_ts = now
+        record = {"worker": self.worker, "ts": now, "phase": phase}
+        if self.task is not None:
+            record["task"] = self.task
+        record.update(fields)
+        try:
+            self.queue.put_nowait(record)
+        except Exception:  # full/closed queue: drop, never block the engine
+            pass
+
+    def due(self, now: float | None = None) -> bool:
+        """Whether ``every_s`` has elapsed since the last beat.
+
+        Call sites check this *before* assembling beat payloads so a
+        gated beat costs one comparison, not a stats snapshot.
+        """
+        if now is None:
+            now = time.monotonic()
+        return now - self._last_ts >= self.every_s
+
+    def maybe_beat(self, phase: str, **fields: Any) -> bool:
+        """Send a heartbeat if ``every_s`` has elapsed since the last one."""
+        if not self.due():
+            return False
+        self.beat(phase, **fields)
+        return True
+
+
+class HeartbeatMonitor:
+    """Parent-side drain thread: worker table, rates, stall detection.
+
+    Parameters
+    ----------
+    queue:
+        The queue the emitters feed (a ``multiprocessing.Manager``
+        queue crosses the ``ProcessPoolExecutor`` pickling boundary).
+    stall_after_s:
+        A worker mid-task with no beat for this long is flagged as
+        stalled (once per stall; recovery re-arms the flag).
+    metrics / tracer:
+        Optional sinks.  Counters are pre-created at construction so
+        the drain thread never mutates the registry's name table
+        concurrently with the main thread.
+    """
+
+    def __init__(
+        self,
+        queue,
+        stall_after_s: float = 30.0,
+        metrics=None,
+        tracer=None,
+        poll_s: float = 0.2,
+    ):
+        self.queue = queue
+        self.stall_after_s = float(stall_after_s)
+        self.poll_s = float(poll_s)
+        self.tracer = tracer
+        self._beats = None
+        self._stalls = None
+        if metrics is not None:
+            self._beats = metrics.counter("executor.heartbeats")
+            self._stalls = metrics.counter("executor.stalls")
+        self.workers: dict[str, dict[str, Any]] = {}
+        self.n_beats = 0
+        self.stalled: set[str] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "HeartbeatMonitor":
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-heartbeat-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._drain_pending()
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- draining -----------------------------------------------------
+
+    def _drain(self) -> None:
+        while not self._stop.is_set():
+            self._drain_pending(block_s=self.poll_s)
+            self._check_stalls()
+
+    def _drain_pending(self, block_s: float | None = None) -> None:
+        import queue as queue_mod
+
+        while True:
+            try:
+                if block_s is not None:
+                    record = self.queue.get(timeout=block_s)
+                    block_s = None  # only the first get blocks
+                else:
+                    record = self.queue.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                return
+            self._ingest(record)
+
+    def _ingest(self, record: dict[str, Any]) -> None:
+        worker = str(record.get("worker", "?"))
+        with self._lock:
+            entry = self.workers.setdefault(worker, {"worker": worker})
+            entry.update(record)
+            entry["seen_ts"] = time.monotonic()
+            self.n_beats += 1
+            if worker in self.stalled:
+                self.stalled.discard(worker)
+                log.info("worker %s resumed after stall", worker)
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.emit("executor.resume", worker=worker)
+        if self._beats is not None:
+            self._beats.inc()
+
+    def _check_stalls(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            for worker, entry in self.workers.items():
+                if entry.get("phase") in ("run.end", "idle"):
+                    continue  # between tasks; silence is fine
+                age = now - entry.get("seen_ts", now)
+                if age < self.stall_after_s or worker in self.stalled:
+                    continue
+                self.stalled.add(worker)
+                log.warning(
+                    "worker %s stalled: no heartbeat for %.1fs "
+                    "(task %s, %s/%s slots)",
+                    worker,
+                    age,
+                    entry.get("task"),
+                    entry.get("slots_done"),
+                    entry.get("n_slots"),
+                )
+                if self._stalls is not None:
+                    self._stalls.inc()
+                if self.tracer is not None and self.tracer.enabled:
+                    self.tracer.emit(
+                        "executor.stall",
+                        worker=worker,
+                        silent_s=age,
+                        task=entry.get("task"),
+                        slots_done=entry.get("slots_done"),
+                    )
+
+    # -- views --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Worker table view for the exporter / dashboard."""
+        now = time.monotonic()
+        with self._lock:
+            workers = {}
+            for name, entry in self.workers.items():
+                view = {
+                    k: v
+                    for k, v in entry.items()
+                    if k not in ("ts", "seen_ts")
+                }
+                view["age_s"] = round(now - entry.get("seen_ts", now), 3)
+                view["stalled"] = name in self.stalled
+                workers[name] = view
+            return {
+                "n_beats": self.n_beats,
+                "n_workers": len(workers),
+                "stalled": sorted(self.stalled),
+                "workers": workers,
+            }
+
+    def slots_per_s(self) -> float:
+        """Aggregate throughput across workers (0 when unknown)."""
+        with self._lock:
+            return float(
+                sum(
+                    e.get("slots_per_s", 0.0) or 0.0
+                    for e in self.workers.values()
+                    if e.get("phase") not in ("run.end", "idle")
+                )
+            )

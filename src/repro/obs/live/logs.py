@@ -1,0 +1,75 @@
+"""The ``repro.*`` logging hierarchy.
+
+Every module in the package logs through ``logging.getLogger("repro.<mod>")``
+(the executor's worker retries, the kernel backend fallback, the trace
+overwrite guard, SLO alerts, heartbeat stalls).  By default those
+records propagate to the root logger and vanish under the stdlib's
+last-resort WARNING handler; :func:`logging_setup` gives the hierarchy
+one real handler with a consistent format and an env-tunable level::
+
+    from repro.obs.live import logging_setup
+    logging_setup()                  # $REPRO_LOG_LEVEL or WARNING
+    logging_setup("DEBUG")           # explicit level wins
+
+``$REPRO_LOG_LEVEL`` accepts standard level names (``DEBUG``, ``INFO``,
+``WARNING``, ``ERROR``) or integers.  Setup is idempotent — repeated
+calls reconfigure the level but never stack handlers — and scoped to
+the ``repro`` logger (``propagate=False``), so embedding applications
+keep their own root configuration untouched.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["logging_setup", "LOG_LEVEL_ENV"]
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_live_handler"
+
+
+def logging_setup(level: int | str | None = None, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root ``repro`` logger.
+
+    Parameters
+    ----------
+    level:
+        Explicit level (name or number).  ``None`` reads
+        ``$REPRO_LOG_LEVEL``, defaulting to ``WARNING``.
+    stream:
+        Destination stream (default ``sys.stderr``) — injectable for
+        tests.
+    """
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "WARNING")
+    if isinstance(level, str):
+        try:
+            level = int(level)
+        except ValueError:
+            resolved = logging.getLevelName(level.upper())
+            level = resolved if isinstance(resolved, int) else logging.WARNING
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    existing = [
+        h for h in logger.handlers if getattr(h, _HANDLER_FLAG, False)
+    ]
+    if existing:
+        for handler in existing:
+            handler.setLevel(level)
+            if stream is not None:
+                handler.setStream(stream)
+    else:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger

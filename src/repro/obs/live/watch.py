@@ -1,0 +1,204 @@
+"""``repro-watch`` — terminal dashboard over a live (or finished) run.
+
+Tails the JSON snapshot a live run pushes (``repro-experiments run ...
+--export out/prom.txt`` refreshes ``out/prom.json`` alongside) or polls
+a pull endpoint (``--serve PORT``)::
+
+    repro-watch out/prom.json            # tail the pushed snapshot
+    repro-watch out/                     # directory: finds *.json
+    repro-watch http://127.0.0.1:9464    # poll /metrics.json
+    repro-watch out/prom.json --once     # one frame, no loop
+
+Each frame shows run progress, engine throughput, the live
+rebuffering/energy aggregates (count/mean/p50/p95/max straight from
+the P²/Welford sketches), the executor worker table with stall flags,
+and the most recent SLO alerts.  Exits 0; ``--once`` additionally
+exits 3 when the snapshot contains alerts, so scripts can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+__all__ = ["main", "render_dashboard", "load_snapshot"]
+
+
+def load_snapshot(source: str, timeout_s: float = 5.0) -> dict[str, Any]:
+    """Read one snapshot from a file path, directory, or HTTP endpoint."""
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/") + "/metrics.json"
+        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    path = Path(source)
+    if path.is_dir():
+        candidates = sorted(
+            (p for p in path.glob("*.json") if p.name != "manifest.json"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        if not candidates:
+            raise FileNotFoundError(f"no JSON snapshot under {path}")
+        path = candidates[0]
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _fmt_num(value: Any, digits: int = 3) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.{digits}g}"
+
+
+def _stat_line(name: str, stats: dict[str, Any]) -> str:
+    if not stats or not stats.get("count"):
+        return f"  {name:<16} (no samples)"
+    parts = [f"n={_fmt_num(stats['count'])}"]
+    for key in ("mean", "p50", "p95", "p99", "max"):
+        if key in stats:
+            parts.append(f"{key}={_fmt_num(stats[key])}")
+    return f"  {name:<16} " + "  ".join(parts)
+
+
+def render_dashboard(snap: dict[str, Any]) -> str:
+    """One text frame of the dashboard (pure function of the snapshot)."""
+    lines: list[str] = []
+    progress = snap.get("progress", {})
+    live = snap.get("live", {})
+    if progress:
+        run_slots = progress.get("run_slots", 0)
+        run_total = progress.get("run_n_slots", 0)
+        pct = f" ({100.0 * run_slots / run_total:.0f}%)" if run_total else ""
+        lines.append(
+            f"runs {progress.get('runs_finished', 0)}/{progress.get('runs_started', 0)}"
+            f" · current {progress.get('scheduler') or '-'}"
+            f" slot {run_slots}/{run_total}{pct}"
+            f" · total slots {progress.get('total_slots', 0)}"
+            f" · {_fmt_num(live.get('slots_per_s', 0))} slots/s"
+        )
+    channel_stats = {
+        k: v for k, v in live.items() if isinstance(v, dict)
+    }
+    if channel_stats:
+        lines.append("live channels (per-slot, current run):")
+        for name in sorted(channel_stats):
+            lines.append(_stat_line(name, channel_stats[name]))
+    executor = snap.get("executor")
+    if executor and executor.get("workers"):
+        lines.append(
+            f"executor: {executor.get('n_workers', 0)} worker(s), "
+            f"{executor.get('n_beats', 0)} heartbeat(s)"
+            + (
+                f", STALLED: {', '.join(executor['stalled'])}"
+                if executor.get("stalled")
+                else ""
+            )
+        )
+        for name in sorted(executor["workers"]):
+            w = executor["workers"][name]
+            flag = " [STALLED]" if w.get("stalled") else ""
+            lines.append(
+                f"  {name:<12} {w.get('phase', '?'):<10}"
+                f" task={_fmt_num(w.get('task', '-'))}"
+                f" slots={_fmt_num(w.get('slots_done', 0))}/{_fmt_num(w.get('n_slots', 0))}"
+                f" {_fmt_num(w.get('slots_per_s', 0))} slots/s"
+                f" age={_fmt_num(w.get('age_s', 0))}s{flag}"
+            )
+    alerts = snap.get("alerts")
+    n_alerts = snap.get("n_alerts", len(alerts) if alerts else 0)
+    if alerts:
+        lines.append(f"SLO alerts ({n_alerts} total, last {min(len(alerts), 5)}):")
+        for alert in alerts[-5:]:
+            where = f" slot {alert['slot']}" if "slot" in alert else ""
+            ctx = f" [{alert['context']}]" if alert.get("context") else ""
+            lines.append(
+                f"  ! {alert.get('rule', '?')}: observed "
+                f"{_fmt_num(alert.get('observed', float('nan')))}{where}{ctx}"
+            )
+    elif "alerts" in snap:
+        lines.append("SLO alerts: none")
+    counters = snap.get("counters", {})
+    interesting = [
+        name
+        for name in ("engine.slots", "executor.heartbeats", "executor.stalls", "slo.alerts")
+        if name in counters
+    ]
+    if interesting:
+        lines.append(
+            "counters: "
+            + "  ".join(f"{n}={_fmt_num(counters[n])}" for n in interesting)
+        )
+    if not lines:
+        lines.append("(snapshot carries no live telemetry yet)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-watch",
+        description="Terminal dashboard over a live run's telemetry "
+        "snapshot (file push or HTTP pull endpoint).",
+    )
+    parser.add_argument(
+        "source",
+        help="snapshot JSON path, run directory, or http://host:port endpoint",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period, seconds"
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (exit code 3 if alerts fired)",
+    )
+    parser.add_argument(
+        "--for",
+        dest="duration_s",
+        type=float,
+        default=None,
+        help="stop tailing after this many seconds (default: until Ctrl-C)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.once:
+        try:
+            snap = load_snapshot(args.source)
+        except Exception as exc:
+            print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+            return 2
+        print(render_dashboard(snap))
+        return 3 if snap.get("n_alerts") else 0
+
+    deadline = (
+        time.monotonic() + args.duration_s if args.duration_s is not None else None
+    )
+    misses = 0
+    try:
+        while True:
+            try:
+                snap = load_snapshot(args.source)
+            except Exception as exc:
+                misses += 1
+                if misses in (1, 10):
+                    print(f"[waiting for {args.source}: {exc}]", file=sys.stderr)
+            else:
+                misses = 0
+                stamp = time.strftime("%H:%M:%S")
+                frame = render_dashboard(snap)
+                print(f"── repro-watch {stamp} · {args.source} " + "─" * 12)
+                print(frame, flush=True)
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

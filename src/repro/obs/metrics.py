@@ -34,7 +34,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "is_numeric_value",
+]
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -63,7 +70,14 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins value; scalars or small vectors (NumPy arrays)."""
+    """Last-write-wins value; scalars or small vectors (NumPy arrays).
+
+    A gauge may also hold a non-numeric value (the backend name in
+    ``kernels.backend``, for instance); snapshots partition those into
+    an ``info`` section so numeric consumers — the Prometheus exporter,
+    the comparison gates — never meet a string where they expect a
+    number (see :func:`is_numeric_value`).
+    """
 
     __slots__ = ("name", "value")
 
@@ -73,6 +87,32 @@ class Gauge:
 
     def set(self, value: Any) -> None:
         self.value = value
+
+    @property
+    def is_numeric(self) -> bool:
+        return is_numeric_value(self.value)
+
+
+def is_numeric_value(value: Any) -> bool:
+    """True for numbers and (nested) numeric sequences/arrays.
+
+    Booleans and ``None`` are *not* numeric (a bool gauge is a flag, an
+    unset gauge is information-free); NumPy scalars and arrays of any
+    numeric dtype are.
+    """
+    if isinstance(value, bool) or value is None:
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    if isinstance(value, np.generic):
+        return bool(np.issubdtype(value.dtype, np.number)) and not isinstance(
+            value, np.bool_
+        )
+    if isinstance(value, np.ndarray):
+        return bool(np.issubdtype(value.dtype, np.number))
+    if isinstance(value, (list, tuple)):
+        return all(is_numeric_value(v) for v in value) and len(value) > 0
+    return False
 
 
 class Histogram:
@@ -148,19 +188,33 @@ class MetricsRegistry:
         return sorted(self._metrics)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Plain-dict view: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
-        out: dict[str, dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        """Plain-dict view, gauges type-partitioned.
+
+        Returns ``{"counters": {...}, "gauges": {...}, "info": {...},
+        "histograms": {...}}``: numeric gauges (scalars and numeric
+        vectors) land in ``gauges``; everything else (backend names,
+        version strings, flags) lands in ``info``.  Purely numeric
+        consumers — the Prometheus exporter, the bench gates — read
+        ``gauges`` and treat ``info`` as labels.
+        """
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "info": {},
+            "histograms": {},
+        }
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if isinstance(metric, Counter):
                 out["counters"][name] = metric.value
             elif isinstance(metric, Gauge):
                 value = metric.value
+                numeric = metric.is_numeric
                 if isinstance(value, np.ndarray):
                     value = value.tolist()
                 elif isinstance(value, np.generic):
                     value = value.item()
-                out["gauges"][name] = value
+                out["gauges" if numeric else "info"][name] = value
             else:
                 out["histograms"][name] = metric.summary()
         return out
@@ -172,14 +226,20 @@ class MetricsRegistry:
         (not summarised) and gauge values unconverted, so a registry
         populated in a worker process can be shipped back and folded
         into the parent with :meth:`merge_state` without losing
-        information.
+        information.  Gauges are partitioned exactly as in
+        :meth:`snapshot` (numeric ``gauges`` vs. ``info``).
         """
-        out: dict[str, dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "info": {},
+            "histograms": {},
+        }
         for name, metric in self._metrics.items():
             if isinstance(metric, Counter):
                 out["counters"][name] = metric.value
             elif isinstance(metric, Gauge):
-                out["gauges"][name] = metric.value
+                out["gauges" if metric.is_numeric else "info"][name] = metric.value
             else:
                 out["histograms"][name] = list(metric.samples)
         return out
@@ -187,14 +247,18 @@ class MetricsRegistry:
     def merge_state(self, state: dict[str, dict[str, Any]]) -> None:
         """Fold a :meth:`state` dict into this registry.
 
-        Counters add, gauges last-write-win, histogram samples extend —
-        merging worker states in task order reproduces exactly the
-        registry a serial execution would have built (each engine
-        counter receives one increment per run).
+        Counters add, gauges last-write-win (both the numeric
+        ``gauges`` and the ``info`` sections — older states without the
+        partition merge unchanged), histogram samples extend — merging
+        worker states in task order reproduces exactly the registry a
+        serial execution would have built (each engine counter receives
+        one increment per run).
         """
         for name, value in state.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, value in state.get("info", {}).items():
             self.gauge(name).set(value)
         for name, samples in state.get("histograms", {}).items():
             self.histogram(name).samples.extend(samples)

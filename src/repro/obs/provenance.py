@@ -106,6 +106,13 @@ class RunManifest:
     #: Per-kernel JIT compile times, seconds (empty off the numba
     #: backend or before any kernel was compiled).
     kernel_compile_times_s: dict[str, float] = field(default_factory=dict)
+    #: SLO rules a live telemetry plane guarded the run with, and what
+    #: a firing rule did (``warn``/``abort``) — empty/None when no live
+    #: plane with a watchdog was ambient.  Knowing which online
+    #: constraints a result was produced under is provenance: an
+    #: ``action="abort"`` run that completed *proves* the rules held.
+    live_slo_rules: tuple[str, ...] = ()
+    live_slo_action: str | None = None
     #: Free-form extras (experiment id, scale, trace event count, ...).
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -127,11 +134,24 @@ def build_manifest(config: SimConfig, **extra: Any) -> RunManifest:
 
     Keyword arguments land in :attr:`RunManifest.extra` verbatim.  The
     kernel-backend fields are captured automatically from the ambient
-    :func:`repro.kernels.backend_info` so every manifest records which
-    compiled path produced the run.
+    :func:`repro.kernels.backend_info`, and the SLO rules of an
+    ambient live telemetry plane (if one is installed via
+    :func:`~repro.obs.instrument.use_instrumentation`) are recorded the
+    same way, so every manifest documents both which compiled path and
+    which online constraints produced the run.
     """
     from repro import __version__
     from repro.kernels import backend_info, use_backend
+    from repro.obs.instrument import current_instrumentation
+
+    slo_rules: tuple[str, ...] = ()
+    slo_action = None
+    ambient = current_instrumentation()
+    live = ambient.live if ambient is not None else None
+    if live is not None and live.watchdog is not None:
+        watchdog_spec = live.watchdog.spec()
+        slo_rules = tuple(watchdog_spec["rules"])
+        slo_action = watchdog_spec["action"]
 
     if config.kernel_backend is not None:
         # Resolve under the config's backend (handles the numba-missing
@@ -154,5 +174,7 @@ def build_manifest(config: SimConfig, **extra: Any) -> RunManifest:
         kernel_backend=kinfo["resolved"],
         numba_version=kinfo["numba_version"],
         kernel_compile_times_s=dict(kinfo["compile_times_s"]),
+        live_slo_rules=slo_rules,
+        live_slo_action=slo_action,
         extra=dict(extra),
     )

@@ -32,6 +32,7 @@ strictly observational — instrumented and plain runs are bit-identical.
 
 from __future__ import annotations
 
+import logging
 import os
 from time import perf_counter
 
@@ -52,6 +53,8 @@ from repro.sim.results import SimulationResult
 from repro.sim.workload import Workload, generate_workload
 
 __all__ = ["Simulation"]
+
+log = logging.getLogger("repro.sim.engine")
 
 #: Scheduler attributes worth pinning in the trace's ``run.start``
 #: event — the invariant checkers key off these (RTMA's Eq. 10/12
@@ -159,6 +162,8 @@ class Simulation:
         # loop — this is what keeps NullTracer instrumentation under the
         # 2% overhead budget (guarded in benchmarks/bench_kernels.py).
         instrumented = instr is not None
+        live = instr.live if instrumented else None
+        live_on = live is not None
         if instrumented:
             tracer = instr.tracer
             trace_on = tracer.enabled
@@ -236,128 +241,172 @@ class Simulation:
                 },
                 params=_scheduler_trace_params(self.scheduler),
             )
+        if live_on:
+            live.begin_run(scheduler_name, n_slots=gamma, n_users=n)
+            live_every = live.watch_every
+            live_start = 0
 
-        for slot in range(gamma):
-            # 1. Playback: Eq. (7)/(8) with last slot's deliveries.
-            #    Sessions that have not arrived yet do not play (and do
-            #    not accrue startup rebuffering).
-            if instrumented:
-                _t0 = _pc()
-            if use_fleet:
-                fleet.begin_slot(slot, out=rebuf[slot])
-                # newly_done = (completion < 0) & playback_complete &
-                # (slot >= arrivals), assembled in arena scratch (the
-                # observe/transmit buffers are free during playback).
-                newly_done = fleet.playback_complete_into(
-                    arena.b1_tmp, arena.f8_tmp, arena.tx_mask
+        slot = -1
+        try:
+            for slot in range(gamma):
+                # 1. Playback: Eq. (7)/(8) with last slot's deliveries.
+                #    Sessions that have not arrived yet do not play (and do
+                #    not accrue startup rebuffering).
+                if instrumented:
+                    _t0 = _pc()
+                if use_fleet:
+                    fleet.begin_slot(slot, out=rebuf[slot])
+                    # newly_done = (completion < 0) & playback_complete &
+                    # (slot >= arrivals), assembled in arena scratch (the
+                    # observe/transmit buffers are free during playback).
+                    newly_done = fleet.playback_complete_into(
+                        arena.b1_tmp, arena.f8_tmp, arena.tx_mask
+                    )
+                    np.less(completion, 0, out=arena.tx_mask)
+                    np.logical_and(newly_done, arena.tx_mask, out=newly_done)
+                    np.less_equal(arrivals, slot, out=arena.tx_mask)
+                    np.logical_and(newly_done, arena.tx_mask, out=newly_done)
+                    if newly_done.any():
+                        completion[newly_done] = slot
+                else:
+                    for i, client in enumerate(clients):
+                        if slot < arrivals[i]:
+                            continue
+                        c_i, _played = client.begin_slot(slot)
+                        rebuf[slot, i] = c_i
+                        if completion[i] < 0 and client.playback_complete:
+                            completion[i] = slot
+                if instrumented:
+                    rec_playback(_pc() - _t0)
+
+                # 2-4. Observe, schedule, transmit (timed inside the gateway).
+                idle_cost = rrc.expected_idle_cost_mj(
+                    cfg.tau_s, out=arena.idle_tail_cost_mj if use_fleet else None
                 )
-                np.less(completion, 0, out=arena.tx_mask)
-                np.logical_and(newly_done, arena.tx_mask, out=newly_done)
-                np.less_equal(arrivals, slot, out=arena.tx_mask)
-                np.logical_and(newly_done, arena.tx_mask, out=newly_done)
-                if newly_done.any():
-                    completion[newly_done] = slot
-            else:
-                for i, client in enumerate(clients):
-                    if slot < arrivals[i]:
-                        continue
-                    c_i, _played = client.begin_slot(slot)
-                    rebuf[slot, i] = c_i
-                    if completion[i] < 0 and client.playback_complete:
-                        completion[i] = slot
-            if instrumented:
-                rec_playback(_pc() - _t0)
-
-            # 2-4. Observe, schedule, transmit (timed inside the gateway).
-            idle_cost = rrc.expected_idle_cost_mj(
-                cfg.tau_s, out=arena.idle_tail_cost_mj if use_fleet else None
-            )
-            obs, phi, sent_kb = gateway.step(
-                slot,
-                signal[slot],
-                flows,
-                clients,
-                radio.throughput,
-                radio.power,
-                idle_cost,
-                instrumentation=instr,
-                fleet=fleet,
-                arena=arena,
-            )
-            check_constraints(phi, obs)
-            if use_fleet:
-                np.multiply(phi, cfg.delta_kb, out=arena.f8_tmp)
-                np.add(arena.f8_tmp, 1e-9, out=arena.f8_tmp)
-                np.greater(sent_kb, arena.f8_tmp, out=arena.b1_tmp)
-                overdelivered = arena.b1_tmp.any()
-            else:
-                overdelivered = np.any(sent_kb > phi * cfg.delta_kb + 1e-9)
-            if overdelivered:
-                raise SimulationError(f"slot {slot}: delivered more than allocated")
-
-            # 5. Radio energy accounting (Eq. 5: trans XOR tail).
-            #    Occupancy/tail metrics are batch-derived after the loop.
-            if instrumented:
-                _t0 = _pc()
-            if use_fleet:
-                tx_mask = np.greater(sent_kb, 0.0, out=arena.tx_mask)
-            else:
-                tx_mask = sent_kb > 0.0
-            np.multiply(obs.p_mj_per_kb, sent_kb, out=e_trans[slot])
-            rrc.step(tx_mask, cfg.tau_s, out=e_tail[slot])
-            if instrumented:
-                rec_rrc(_pc() - _t0)
-
-            # 6. Scheduler feedback.
-            if instrumented:
-                _t0 = _pc()
-            self.scheduler.notify(obs, phi, sent_kb)
-            if instrumented:
-                rec_feedback(_pc() - _t0)
-
-            alloc[slot] = phi
-            delivered[slot] = sent_kb
-            buffer_s[slot] = obs.buffer_s
-            np.multiply(obs.rate_kbps, cfg.tau_s, out=need_kb[slot])
-            active_rec[slot] = obs.active
-
-            if instrumented:
-                budgets[slot] = obs.unit_budget
-            if instrumented and trace_on:
-                tracer.emit(
-                    "slot",
-                    slot=slot,
-                    active_users=int(obs.active.sum()),
-                    tx_users=int(tx_mask.sum()),
-                    allocated_units=int(phi.sum()),
-                    unit_budget=int(obs.unit_budget),
-                    delivered_kb=float(sent_kb.sum()),
-                    rebuffering_s=float(rebuf[slot].sum()),
-                    energy_trans_mj=float(e_trans[slot].sum()),
-                    energy_tail_mj=float(e_tail[slot].sum()),
-                    mean_buffer_s=float(obs.buffer_s.mean()),
-                    # Per-user vectors: what repro.obs.analyze needs to
-                    # reconstruct timelines and run the invariant
-                    # checkers offline.  Only built when a real tracer
-                    # is attached, so the NullTracer overhead budget is
-                    # untouched.  Arena-backed vectors are referenced
-                    # through the result grids (already copied above) or
-                    # copied here — the arena reuses its buffers next
-                    # slot, so raw references would go stale in a
-                    # recording tracer.
-                    users={
-                        "phi": phi,
-                        "delivered_kb": delivered[slot],
-                        "rebuffering_s": rebuf[slot],
-                        "buffer_s": buffer_s[slot],
-                        "energy_trans_mj": e_trans[slot],
-                        "energy_tail_mj": e_tail[slot],
-                        "link_units": np.array(obs.link_units),
-                        "sig_dbm": signal[slot],
-                        "rate_kbps": obs.rate_kbps,
-                        "active": active_rec[slot],
-                    },
+                obs, phi, sent_kb = gateway.step(
+                    slot,
+                    signal[slot],
+                    flows,
+                    clients,
+                    radio.throughput,
+                    radio.power,
+                    idle_cost,
+                    instrumentation=instr,
+                    fleet=fleet,
+                    arena=arena,
                 )
+                check_constraints(phi, obs)
+                if use_fleet:
+                    np.multiply(phi, cfg.delta_kb, out=arena.f8_tmp)
+                    np.add(arena.f8_tmp, 1e-9, out=arena.f8_tmp)
+                    np.greater(sent_kb, arena.f8_tmp, out=arena.b1_tmp)
+                    overdelivered = arena.b1_tmp.any()
+                else:
+                    overdelivered = np.any(sent_kb > phi * cfg.delta_kb + 1e-9)
+                if overdelivered:
+                    raise SimulationError(f"slot {slot}: delivered more than allocated")
+
+                # 5. Radio energy accounting (Eq. 5: trans XOR tail).
+                #    Occupancy/tail metrics are batch-derived after the loop.
+                if instrumented:
+                    _t0 = _pc()
+                if use_fleet:
+                    tx_mask = np.greater(sent_kb, 0.0, out=arena.tx_mask)
+                else:
+                    tx_mask = sent_kb > 0.0
+                np.multiply(obs.p_mj_per_kb, sent_kb, out=e_trans[slot])
+                rrc.step(tx_mask, cfg.tau_s, out=e_tail[slot])
+                if instrumented:
+                    rec_rrc(_pc() - _t0)
+
+                # 6. Scheduler feedback.
+                if instrumented:
+                    _t0 = _pc()
+                self.scheduler.notify(obs, phi, sent_kb)
+                if instrumented:
+                    rec_feedback(_pc() - _t0)
+
+                alloc[slot] = phi
+                delivered[slot] = sent_kb
+                buffer_s[slot] = obs.buffer_s
+                np.multiply(obs.rate_kbps, cfg.tau_s, out=need_kb[slot])
+                active_rec[slot] = obs.active
+
+                if instrumented:
+                    budgets[slot] = obs.unit_budget
+                if instrumented and trace_on:
+                    tracer.emit(
+                        "slot",
+                        slot=slot,
+                        active_users=int(obs.active.sum()),
+                        tx_users=int(tx_mask.sum()),
+                        allocated_units=int(phi.sum()),
+                        unit_budget=int(obs.unit_budget),
+                        delivered_kb=float(sent_kb.sum()),
+                        rebuffering_s=float(rebuf[slot].sum()),
+                        energy_trans_mj=float(e_trans[slot].sum()),
+                        energy_tail_mj=float(e_tail[slot].sum()),
+                        mean_buffer_s=float(obs.buffer_s.mean()),
+                        # Per-user vectors: what repro.obs.analyze needs to
+                        # reconstruct timelines and run the invariant
+                        # checkers offline.  Only built when a real tracer
+                        # is attached, so the NullTracer overhead budget is
+                        # untouched.  Arena-backed vectors are referenced
+                        # through the result grids (already copied above) or
+                        # copied here — the arena reuses its buffers next
+                        # slot, so raw references would go stale in a
+                        # recording tracer.
+                        users={
+                            "phi": phi,
+                            "delivered_kb": delivered[slot],
+                            "rebuffering_s": rebuf[slot],
+                            "buffer_s": buffer_s[slot],
+                            "energy_trans_mj": e_trans[slot],
+                            "energy_tail_mj": e_tail[slot],
+                            "link_units": np.array(obs.link_units),
+                            "sig_dbm": signal[slot],
+                            "rate_kbps": obs.rate_kbps,
+                            "active": active_rec[slot],
+                        },
+                    )
+                # Live telemetry consumes whole blocks straight from the
+                # result grids — one comparison per slot, vectorized
+                # cell sums every watch_every slots (plus the run tail).
+                if live_on and (slot - live_start + 1 >= live_every or slot == gamma - 1):
+                    end = slot + 1
+                    live.observe_block(
+                        slot,
+                        rebuf[live_start:end].sum(axis=1),
+                        e_trans[live_start:end].sum(axis=1)
+                        + e_tail[live_start:end].sum(axis=1),
+                        delivered[live_start:end].sum(axis=1),
+                        buffer_s[live_start:end].mean(axis=1),
+                        active_users=int(active_rec[slot].sum()),
+                    )
+                    live_start = end
+        except BaseException as exc:
+            # Leave a valid, parseable trace prefix behind a crashed (or
+            # SLO-aborted) run: one final run.abort event, then flush and
+            # close the writer before the exception propagates.
+            if instrumented:
+                log.warning(
+                    "run aborted at slot %d: %s: %s",
+                    slot,
+                    type(exc).__name__,
+                    exc,
+                )
+                if trace_on:
+                    tracer.emit(
+                        "run.abort",
+                        scheduler=scheduler_name,
+                        slot=slot,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                    )
+                if live_on:
+                    live.abort_run(f"{type(exc).__name__}: {exc}")
+                instr.close()
+            raise
 
         if not np.all(np.isfinite(e_trans)):
             raise SimulationError("non-finite transmission energy recorded")
@@ -372,6 +421,8 @@ class Simulation:
                 rebuffering_total_s=float(rebuf.sum()),
                 completed_users=int((completion >= 0).sum()),
             )
+        if live_on:
+            live.end_run()
 
         if instrumented:
             # Batch registry accounting: identical totals to per-slot

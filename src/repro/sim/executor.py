@@ -39,14 +39,36 @@ The one thing workers do **not** ship back is per-slot trace events —
 a parallel run's trace contains the orchestration-level events only
 (``sweep.point``, ``calibration.*``, run summaries), not the ``slot``
 stream.  Run with ``jobs=1`` when a full trace is needed.
+
+Liveness
+--------
+When the parent bundle carries a live telemetry plane
+(:mod:`repro.obs.live`), its spec is shipped to every worker so SLO
+rules evaluate inside the pool and the ``slo.*`` counters merge back
+identically to a serial run.  Passing ``heartbeat_s`` additionally has
+workers heartbeat progress over a manager queue; the parent's
+:class:`~repro.obs.live.HeartbeatMonitor` drains it on a daemon
+thread, counts ``executor.heartbeats``, and flags any worker silent
+longer than ``stall_after_s`` (default 30 s) as stalled —
+``executor.stall``/``executor.resume`` trace events, an
+``executor.stalls`` counter, and a per-worker table in the live
+dashboard and metric exports.  Heartbeats are off by default
+(``heartbeat_s=None``) so pooled metrics stay byte-identical to
+serial ones; ``repro-experiments`` turns them on whenever the live
+plane is active and ``--jobs > 1``.  A pool broken by a crashed
+worker (e.g. OOM-killed) is logged and the batch retried serially
+before giving up.
 """
 
 from __future__ import annotations
 
+import logging
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs.instrument import Instrumentation, current_instrumentation
@@ -63,6 +85,8 @@ __all__ = [
     "use_executor",
     "current_executor",
 ]
+
+log = logging.getLogger("repro.sim.executor")
 
 
 @dataclass(frozen=True)
@@ -85,15 +109,33 @@ class RunTask:
 #: (keyed by batch-local ids) plus generated workloads keyed by config
 #: hash, so repeated configs in a batch generate once per worker.
 _WORKER_WORKLOADS: dict[str, Workload] = {}
+#: Worker-side heartbeat emitter and live-plane spec, installed by the
+#: pool initializer when the parent runs with heartbeats enabled.
+_WORKER_HEARTBEAT = None
+_WORKER_LIVE_SPEC: dict[str, Any] | None = None
 
 
-def _init_worker(workload_table: dict[str, Workload]) -> None:
+def _init_worker(
+    workload_table: dict[str, Workload],
+    heartbeat_queue=None,
+    heartbeat_s: float = 1.0,
+    live_spec: dict[str, Any] | None = None,
+) -> None:
+    global _WORKER_HEARTBEAT, _WORKER_LIVE_SPEC
     _WORKER_WORKLOADS.clear()
     _WORKER_WORKLOADS.update(workload_table)
+    _WORKER_LIVE_SPEC = live_spec
+    if heartbeat_queue is not None:
+        from repro.obs.live import HeartbeatEmitter
+
+        _WORKER_HEARTBEAT = HeartbeatEmitter(heartbeat_queue, every_s=heartbeat_s)
+        _WORKER_HEARTBEAT.beat("idle")
+    else:
+        _WORKER_HEARTBEAT = None
 
 
 def _run_task(payload):
-    config, scheduler, wl_key, instrumented = payload
+    config, scheduler, wl_key, instrumented, task_index = payload
     if wl_key is not None:
         workload = _WORKER_WORKLOADS[wl_key]
     else:
@@ -102,10 +144,25 @@ def _run_task(payload):
         if workload is None:
             workload = generate_workload(config)
             _WORKER_WORKLOADS[key] = workload
+    heartbeat = _WORKER_HEARTBEAT
+    if heartbeat is not None:
+        heartbeat.task = task_index
     if not instrumented:
-        return Simulation(config, scheduler, workload).run(), None, None
-    instr = Instrumentation()  # NullTracer: slot events stay local
+        if heartbeat is not None:
+            heartbeat.beat("task.start", n_slots=config.n_slots)
+        result = Simulation(config, scheduler, workload).run()
+        if heartbeat is not None:
+            heartbeat.beat("idle")
+        return result, None, None
+    live = None
+    if _WORKER_LIVE_SPEC is not None or heartbeat is not None:
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry.from_spec(_WORKER_LIVE_SPEC or {}, heartbeat=heartbeat)
+    instr = Instrumentation(live=live)  # NullTracer: slot events stay local
     result = Simulation(config, scheduler, workload, instrumentation=instr).run()
+    if heartbeat is not None:
+        heartbeat.beat("idle")
     return result, instr.metrics.state(), instr.profiler.raw_samples()
 
 
@@ -118,12 +175,31 @@ class RunExecutor:
         Worker processes.  ``1`` (default) runs every task in-process —
         identical to a plain loop, with the caller's (or ambient)
         instrumentation observing each run directly.
+    heartbeat_s:
+        When set (and the batch is instrumented), pool workers emit
+        heartbeats at most every ``heartbeat_s`` seconds over a manager
+        queue, and the parent runs a
+        :class:`~repro.obs.live.HeartbeatMonitor` for the batch's
+        duration (straggler/stall detection, ``executor.*`` counters,
+        worker table in the live snapshot).  ``None`` (default) keeps
+        the executor metrics-silent, preserving the byte-identical
+        ``jobs=1`` vs ``jobs=N`` metrics contract CI checks.
+    stall_after_s:
+        Heartbeat silence (mid-task) after which a worker is flagged
+        as stalled.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(
+        self,
+        jobs: int = 1,
+        heartbeat_s: float | None = None,
+        stall_after_s: float = 30.0,
+    ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         self.jobs = int(jobs)
+        self.heartbeat_s = float(heartbeat_s) if heartbeat_s is not None else None
+        self.stall_after_s = float(stall_after_s)
 
     def map_runs(
         self,
@@ -161,7 +237,8 @@ class RunExecutor:
         keys_by_id: dict[int, str] = {}
         payloads = []
         instrumented = instr is not None
-        for t in tasks:
+        live = instr.live if instrumented else None
+        for index, t in enumerate(tasks):
             wl_key = None
             if t.workload is not None:
                 wl_key = keys_by_id.get(id(t.workload))
@@ -174,13 +251,66 @@ class RunExecutor:
             bind = getattr(t.scheduler, "bind_instrumentation", None)
             if bind is not None:
                 bind(None)
-            payloads.append((t.config, t.scheduler, wl_key, instrumented))
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(tasks)),
-            initializer=_init_worker,
-            initargs=(table,),
-        ) as pool:
-            outs = list(pool.map(_run_task, payloads))
+            payloads.append((t.config, t.scheduler, wl_key, instrumented, index))
+
+        # Workers rebuild the parent's live plane from its picklable
+        # spec so SLO rules are evaluated on exactly the per-run slot
+        # streams a serial execution would see (per-run aggregate reset
+        # makes the alert counters merge back identically).
+        live_spec = live.spec() if live is not None else None
+        heartbeats_on = self.heartbeat_s is not None and instrumented
+        manager = None
+        monitor = None
+        hb_queue = None
+        try:
+            if heartbeats_on:
+                from repro.obs.live import HeartbeatMonitor
+
+                # A plain mp.Queue cannot cross ProcessPoolExecutor's
+                # initargs pickling; a manager proxy can.
+                manager = multiprocessing.Manager()
+                hb_queue = manager.Queue()
+                monitor = HeartbeatMonitor(
+                    hb_queue,
+                    stall_after_s=self.stall_after_s,
+                    metrics=instr.metrics,
+                    tracer=instr.tracer,
+                ).start()
+                if live is not None:
+                    live.attach_monitor(monitor)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(tasks)),
+                    initializer=_init_worker,
+                    initargs=(
+                        table,
+                        hb_queue,
+                        self.heartbeat_s or 1.0,
+                        live_spec,
+                    ),
+                ) as pool:
+                    outs = list(pool.map(_run_task, payloads))
+            except BrokenProcessPool as exc:
+                # A worker died (OOM kill, hard crash).  The batch is
+                # deterministic and side-effect free, so fall back to
+                # one serial retry rather than losing the whole sweep.
+                log.warning(
+                    "process pool broke (%s); retrying batch of %d "
+                    "task(s) serially",
+                    exc,
+                    len(tasks),
+                )
+                return [
+                    Simulation(
+                        t.config, t.scheduler, t.workload, instrumentation=instr
+                    ).run()
+                    for t in tasks
+                ]
+        finally:
+            if monitor is not None:
+                monitor.stop()
+            if manager is not None:
+                manager.shutdown()
         results = []
         for result, metrics_state, profiler_samples in outs:
             results.append(result)

@@ -16,6 +16,7 @@ calibration grids) routes its runs through
 
 from __future__ import annotations
 
+import logging
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
@@ -43,6 +44,8 @@ __all__ = [
     "calibrate_ema_v",
     "multi_seed",
 ]
+
+log = logging.getLogger("repro.sim.runner")
 
 
 def _resolve_instrumentation(
@@ -231,6 +234,13 @@ def calibrate_rtma_threshold(
     if np.any(feasible):
         # Weakest feasible threshold (smallest rebuffering impact).
         return finish(float(grid[np.argmax(feasible)]), True)
+    log.warning(
+        "RTMA calibration infeasible: no threshold meets budget %.4g mJ "
+        "(best effort PE %.4g mJ at %.1f dBm)",
+        budget,
+        float(pes.min()),
+        float(grid[np.argmin(pes)]),
+    )
     return finish(float(grid[np.argmin(pes)]), False)
 
 
@@ -354,6 +364,13 @@ def calibrate_ema_v(
         # once tails and receiver windows bite, so pick by measured PE
         # rather than by V.
         return finish(float(grid[feasible[np.argmin(pes[feasible])]]), True)
+    log.warning(
+        "EMA calibration infeasible: no V meets rebuffering bound %.4g s "
+        "(best effort PC %.4g s at V=%.4g)",
+        rebuffering_bound_s,
+        float(pcs.min()),
+        float(grid[np.argmin(pcs)]),
+    )
     return finish(float(grid[np.argmin(pcs)]), False)
 
 

@@ -1,0 +1,225 @@
+"""Prometheus/JSON export: round-trip fidelity, atomic file push, and
+the stdlib HTTP pull endpoint.
+
+The load-bearing guarantee: every numeric metric in a registry
+snapshot appears in the Prometheus text with a matching value.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs.live import (
+    MetricsServer,
+    SnapshotExporter,
+    prometheus_name,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.counter("engine.slots").inc(400)
+    metrics.counter("energy.trans_mj").inc(123.456)
+    metrics.gauge("ema.virtual_queues").set(np.array([1.5, 2.5, 3.5]))
+    metrics.gauge("calibration.threshold_dbm").set(-95.0)
+    metrics.gauge("kernels.backend").set("numpy")  # info, not numeric
+    hist = metrics.histogram("phase.schedule_ms")
+    for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+        hist.observe(v)
+    return metrics
+
+
+def _parse_prom(text: str) -> dict[str, float]:
+    """{'name' or 'name{labels}': value} for every sample line."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        out[name] = float(value)
+    return out
+
+
+class TestPrometheusText:
+    def test_name_sanitisation(self):
+        assert prometheus_name("engine.slots") == "repro_engine_slots"
+        assert prometheus_name("slo.alerts.p95(rebuffer_s)") == (
+            "repro_slo_alerts_p95_rebuffer_s"
+        )
+        assert prometheus_name("x", prefix="") == "x"
+
+    def test_every_numeric_metric_round_trips(self):
+        snapshot = _populated_registry().snapshot()
+        samples = _parse_prom(prometheus_text(snapshot))
+
+        for name, value in snapshot["counters"].items():
+            assert samples[prometheus_name(name) + "_total"] == value
+        for name, value in snapshot["gauges"].items():
+            pname = prometheus_name(name)
+            if isinstance(value, list):
+                for i, item in enumerate(value):
+                    assert samples[f'{pname}{{index="{i}"}}'] == item
+            else:
+                assert samples[pname] == value
+        for name, summary in snapshot["histograms"].items():
+            pname = prometheus_name(name)
+            assert samples[f"{pname}_count"] == summary["count"]
+            assert samples[f"{pname}_sum"] == summary["total"]
+            assert samples[f'{pname}{{quantile="0.5"}}'] == summary["p50"]
+            assert samples[f'{pname}{{quantile="0.95"}}'] == summary["p95"]
+            assert samples[f"{pname}_mean"] == summary["mean"]
+
+    def test_info_gauges_become_label_metrics(self):
+        text = prometheus_text(_populated_registry().snapshot())
+        assert 'repro_kernels_backend_info{value="numpy"} 1' in text
+        # The string value never appears as a sample value.
+        assert "repro_kernels_backend numpy" not in text
+
+    def test_non_finite_values_render(self):
+        text = prometheus_text({"gauges": {"a": float("nan"), "b": float("inf")}})
+        samples = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        assert samples["repro_a"] == "NaN"
+        assert samples["repro_b"] == "+Inf"
+
+    def test_live_and_executor_sections(self):
+        snap = {
+            "live": {
+                "rebuffer_s": {"count": 10, "mean": 0.5, "p95": 1.25},
+                "slots_per_s": 812.5,
+            },
+            "executor": {
+                "n_workers": 2,
+                "stalled": ["w-2"],
+                "workers": {
+                    "w-1": {"slots_done": 100, "slots_per_s": 50.0},
+                    "w-2": {"slots_done": 3},
+                },
+            },
+            "alerts": [{"rule": "x < 1"}],
+        }
+        samples = _parse_prom(prometheus_text(snap))
+        assert samples['repro_live_rebuffer_s{quantile="0.95"}'] == 1.25
+        assert samples["repro_live_rebuffer_s_count"] == 10
+        assert samples["repro_live_slots_per_s"] == 812.5
+        assert samples["repro_executor_workers"] == 2
+        assert samples["repro_executor_stalled_workers"] == 1
+        assert samples['repro_executor_worker_slots_done{worker="w-1"}'] == 100
+        assert samples["repro_slo_alerts_recent"] == 1
+
+
+class TestSnapshotExporter:
+    def test_push_writes_both_files_atomically(self, tmp_path):
+        exporter = SnapshotExporter(tmp_path / "out" / "prom.txt", every_s=0.0)
+        snap = _populated_registry().snapshot()
+        exporter.push(snap)
+        prom = (tmp_path / "out" / "prom.txt").read_text()
+        assert "repro_engine_slots_total 400" in prom
+        loaded = json.loads((tmp_path / "out" / "prom.json").read_text())
+        assert loaded["counters"]["engine.slots"] == 400
+        assert not list((tmp_path / "out").glob("*.tmp"))
+        assert exporter.n_pushes == 1
+
+    def test_maybe_push_is_time_gated(self, tmp_path):
+        exporter = SnapshotExporter(tmp_path / "prom.txt", every_s=3600.0)
+        assert exporter.maybe_push({"counters": {}}) is True
+        assert exporter.maybe_push({"counters": {}}) is False
+        assert exporter.n_pushes == 1
+
+    def test_numpy_values_serialise(self, tmp_path):
+        exporter = SnapshotExporter(tmp_path / "prom.txt")
+        exporter.push({"gauges": {"vec": np.array([1.0, 2.0])}})
+        loaded = json.loads((tmp_path / "prom.json").read_text())
+        assert loaded["gauges"]["vec"] == [1.0, 2.0]
+
+    def test_oserror_degrades_without_raising(self, tmp_path, monkeypatch):
+        exporter = SnapshotExporter(tmp_path / "prom.txt")
+        import repro.obs.live.exporter as exporter_mod
+
+        def boom(path, text):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(exporter_mod, "_atomic_write", boom)
+        exporter.push({"counters": {}})  # must not raise
+        assert exporter.n_pushes == 0
+
+
+class TestMetricsServer:
+    def test_serves_prom_and_json(self):
+        snap = {"counters": {"engine.slots": 42.0}, "n_alerts": 0}
+        with MetricsServer(lambda: snap, port=0) as server:
+            with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                body = resp.read().decode()
+            assert "repro_engine_slots_total 42.0" in body
+            with urllib.request.urlopen(
+                f"{server.url}/metrics.json", timeout=5
+            ) as resp:
+                fetched = json.loads(resp.read())
+            assert fetched == snap
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=5)
+            assert err.value.code == 404
+
+    def test_ephemeral_port_and_stop(self):
+        server = MetricsServer(lambda: {}, port=0).start()
+        port = server.port
+        assert port != 0
+        server.stop()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+def test_watch_dashboard_renders_snapshot():
+    """repro-watch renders a frame from a pushed snapshot without error."""
+    from repro.obs.live.watch import render_dashboard
+
+    snap = {
+        "progress": {
+            "runs_started": 2,
+            "runs_finished": 1,
+            "total_slots": 900,
+            "run_slots": 300,
+            "run_n_slots": 600,
+            "scheduler": "ema",
+        },
+        "live": {
+            "rebuffer_s": {"count": 300, "mean": 0.01, "p95": 0.2},
+            "slots_per_s": 512.0,
+        },
+        "executor": {
+            "n_beats": 12,
+            "n_workers": 1,
+            "stalled": [],
+            "workers": {"w-1": {"phase": "slots", "slots_done": 300, "age_s": 0.5}},
+        },
+        "alerts": [{"rule": "p95(rebuffer_s) < 0.1", "observed": 0.2, "slot": 64}],
+        "n_alerts": 1,
+        "counters": {"engine.slots": 900},
+    }
+    frame = render_dashboard(snap)
+    assert "runs 1/2" in frame
+    assert "rebuffer_s" in frame
+    assert "p95(rebuffer_s) < 0.1" in frame
+    assert "engine.slots=900" in frame
+
+
+def test_watch_once_exit_codes(tmp_path, capsys):
+    from repro.obs.live.watch import main
+
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps({"counters": {}, "n_alerts": 0}))
+    assert main([str(path), "--once"]) == 0
+    path.write_text(json.dumps({"counters": {}, "n_alerts": 2, "alerts": []}))
+    assert main([str(path), "--once"]) == 3
+    assert main([str(tmp_path / "missing.json"), "--once"]) == 2

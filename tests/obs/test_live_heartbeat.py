@@ -1,0 +1,162 @@
+"""Worker heartbeats and stall detection.
+
+Uses plain ``queue.Queue`` objects — the monitor only needs the queue
+interface, and in-process queues keep these tests fast and
+deterministic.  The cross-process path is covered by the executor
+integration test below.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.live import HeartbeatEmitter, HeartbeatMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RecordingTracer
+
+
+class TestHeartbeatEmitter:
+    def test_beat_payload(self):
+        q = queue.Queue()
+        emitter = HeartbeatEmitter(q, worker="w-test", every_s=0.0)
+        emitter.task = 3
+        emitter.beat("slots", slots_done=128, n_slots=400)
+        record = q.get_nowait()
+        assert record["worker"] == "w-test"
+        assert record["phase"] == "slots"
+        assert record["task"] == 3
+        assert record["slots_done"] == 128
+        assert "ts" in record
+
+    def test_due_gates_by_time(self):
+        emitter = HeartbeatEmitter(queue.Queue(), every_s=3600.0)
+        assert emitter.due()
+        emitter.beat("idle")
+        assert not emitter.due()
+        assert emitter.maybe_beat("slots") is False
+
+    def test_broken_queue_never_raises(self):
+        class Broken:
+            def put_nowait(self, record):
+                raise OSError("pipe closed")
+
+        emitter = HeartbeatEmitter(Broken(), every_s=0.0)
+        emitter.beat("slots")  # must swallow
+
+
+class TestHeartbeatMonitor:
+    def test_ingest_and_snapshot(self):
+        q = queue.Queue()
+        metrics = MetricsRegistry()
+        monitor = HeartbeatMonitor(q, stall_after_s=30.0, metrics=metrics)
+        emitter = HeartbeatEmitter(q, worker="w-1", every_s=0.0)
+        with monitor:
+            emitter.beat("slots", slots_done=10)
+            emitter.beat("slots", slots_done=20)
+            deadline = time.monotonic() + 5.0
+            while monitor.n_beats < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        snap = monitor.snapshot()
+        assert snap["n_beats"] == 2
+        assert snap["n_workers"] == 1
+        assert snap["workers"]["w-1"]["slots_done"] == 20
+        assert snap["workers"]["w-1"]["stalled"] is False
+        assert metrics.counter("executor.heartbeats").value == 2
+
+    def test_stall_detection_and_recovery(self):
+        q = queue.Queue()
+        metrics = MetricsRegistry()
+        tracer = RecordingTracer()
+        monitor = HeartbeatMonitor(
+            q, stall_after_s=0.05, metrics=metrics, tracer=tracer, poll_s=0.01
+        )
+        emitter = HeartbeatEmitter(q, worker="w-1", every_s=0.0)
+        with monitor:
+            emitter.beat("slots", slots_done=10)
+            deadline = time.monotonic() + 5.0
+            while not monitor.stalled and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert "w-1" in monitor.stalled
+            # Recovery clears the flag and emits executor.resume.
+            emitter.beat("slots", slots_done=11)
+            while monitor.stalled and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert not monitor.stalled
+        assert metrics.counter("executor.stalls").value >= 1
+        kinds = [e["kind"] for e in tracer.events]
+        assert "executor.stall" in kinds
+        assert "executor.resume" in kinds
+
+    def test_idle_workers_never_stall(self):
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=0.01, poll_s=0.01)
+        emitter = HeartbeatEmitter(q, worker="w-1", every_s=0.0)
+        with monitor:
+            emitter.beat("idle")
+            time.sleep(0.1)
+        assert not monitor.stalled
+
+    def test_slots_per_s_aggregates_active_workers(self):
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=30.0)
+        monitor._ingest({"worker": "w-1", "phase": "slots", "slots_per_s": 100.0})
+        monitor._ingest({"worker": "w-2", "phase": "slots", "slots_per_s": 50.0})
+        monitor._ingest({"worker": "w-3", "phase": "idle", "slots_per_s": 999.0})
+        assert monitor.slots_per_s() == pytest.approx(150.0)
+
+
+class TestExecutorHeartbeats:
+    def test_pool_emits_heartbeats(self):
+        """A pooled run with heartbeat_s set produces >=1 beat and a
+        worker table, and still matches the serial results."""
+        from repro.core.rtma import RTMAScheduler
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.live import LiveTelemetry
+        from repro.sim.config import SimConfig
+        from repro.sim.executor import RunExecutor, RunTask
+        from repro.sim.workload import generate_workload
+
+        cfg = SimConfig(n_users=4, n_slots=150, seed=5)
+        wl = generate_workload(cfg)
+        tasks = [
+            RunTask(cfg, RTMAScheduler(sig_threshold_dbm=t), wl)
+            for t in (-110.0, -100.0, -95.0)
+        ]
+        serial = RunExecutor(jobs=1).map_runs(tasks)
+
+        live = LiveTelemetry()
+        instr = Instrumentation(live=live)
+        pooled = RunExecutor(jobs=2, heartbeat_s=0.0).map_runs(
+            tasks, instrumentation=instr
+        )
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.energy_trans_mj, b.energy_trans_mj)
+            assert np.array_equal(a.rebuffering_s, b.rebuffering_s)
+        assert instr.metrics.counter("executor.heartbeats").value >= 1
+        executor_snap = live.snapshot().get("executor")
+        assert executor_snap is not None
+        assert executor_snap["n_workers"] >= 1
+
+    def test_no_heartbeats_by_default(self):
+        """Without heartbeat_s the executor stays metrics-silent, so
+        --jobs 1 and --jobs N metrics dumps stay byte-identical."""
+        from repro.core.rtma import RTMAScheduler
+        from repro.obs.instrument import Instrumentation
+        from repro.sim.config import SimConfig
+        from repro.sim.executor import RunExecutor, RunTask
+        from repro.sim.workload import generate_workload
+
+        cfg = SimConfig(n_users=4, n_slots=60, seed=5)
+        wl = generate_workload(cfg)
+        tasks = [
+            RunTask(cfg, RTMAScheduler(sig_threshold_dbm=t), wl)
+            for t in (-110.0, -95.0)
+        ]
+        instr = Instrumentation()
+        RunExecutor(jobs=2).map_runs(tasks, instrumentation=instr)
+        assert "executor.heartbeats" not in instr.metrics
+        assert "executor.stalls" not in instr.metrics

@@ -64,3 +64,33 @@ class TestManifest:
             created_at=0.0,
         )
         assert m.as_dict()["git_rev"] is None
+
+
+class TestLiveSloProvenance:
+    def test_ambient_watchdog_rules_are_recorded(self):
+        from repro.obs import Instrumentation, use_instrumentation
+        from repro.obs.live import LiveTelemetry
+        from repro.sim.config import SimConfig
+
+        cfg = SimConfig(n_users=2, n_slots=10)
+        live = LiveTelemetry(
+            rules=("p95(rebuffer_s) < 0.5", "max(slot_energy_mj) <= 100"),
+            action="abort",
+        )
+        with use_instrumentation(Instrumentation(live=live)):
+            m = build_manifest(cfg)
+        assert m.live_slo_rules == (
+            "p95(rebuffer_s) < 0.5",
+            "max(slot_energy_mj) <= 100",
+        )
+        assert m.live_slo_action == "abort"
+        assert json.loads(
+            json.dumps(m.as_dict())
+        )["live_slo_rules"] == list(m.live_slo_rules)
+
+    def test_no_live_plane_records_nothing(self):
+        from repro.sim.config import SimConfig
+
+        m = build_manifest(SimConfig(n_users=2, n_slots=10))
+        assert m.live_slo_rules == ()
+        assert m.live_slo_action is None

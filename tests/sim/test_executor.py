@@ -80,6 +80,7 @@ class TestSerialPoolEquivalence:
             states.append(instr.metrics.state())
         assert states[0]["counters"] == states[1]["counters"]
         assert states[0]["histograms"] == states[1]["histograms"]
+        assert states[0]["info"] == states[1]["info"]
         assert set(states[0]["gauges"]) == set(states[1]["gauges"])
         for name, value in states[0]["gauges"].items():
             other = states[1]["gauges"][name]
