@@ -84,6 +84,17 @@ def _gate(
     report = compare_bench(baseline, candidate, threshold=threshold)
     print(f"\nbench regression gate vs {baseline}:")
     print(report.render())
+    compared = sum(1 for d in report.deltas if d.status != "added")
+    if compared == 0:
+        # Zero overlap (e.g. a numba candidate against a numpy-only
+        # baseline: every entry is "added") means the gate verified
+        # nothing — say so instead of passing quietly.
+        from repro.obs.perf import warn_gate_skipped
+
+        warn_gate_skipped(
+            f"{option} compared 0 metric(s) against {baseline} — "
+            "no baseline entries for this backend"
+        )
     if not report.ok:
         session.exitstatus = 1
 
@@ -131,6 +142,13 @@ def _gate_scaling(session, threshold: float) -> None:
         for name in GATED_SCALING_POINTS:
             base_v, cand_v = base_g.get(name), cand_g.get(name)
             if base_v is None or cand_v is None:
+                from repro.obs.perf import warn_gate_skipped
+
+                missing = "baseline" if base_v is None else "candidate"
+                warn_gate_skipped(
+                    f"--check-scaling: {name} missing from {missing} — "
+                    "slots/sec floor not enforced"
+                )
                 continue
             floor = float(base_v) * SLOTS_PER_SEC_FLOOR
             verdict = "ok" if float(cand_v) >= floor else "REGRESSED"

@@ -69,7 +69,7 @@ from repro.sim import (
     sweep,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # core

@@ -97,10 +97,13 @@ def run_experiment(
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.cli import add_version_argument
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's evaluation figures.",
     )
+    add_version_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run_p = sub.add_parser("run", help="run one experiment (or 'all')")

@@ -28,7 +28,7 @@ from repro.kernels.backend import (
     set_backend,
     use_backend,
 )
-from repro.kernels.registry import kernel_names, register, resolve
+from repro.kernels.registry import kernel_names, kernel_phase, register, resolve
 
 # Importing the kernel modules registers their implementations.
 from repro.kernels import ema_dp as _ema_dp  # noqa: E402,F401
@@ -45,6 +45,7 @@ __all__ = [
     "backend_info",
     "compile_times",
     "kernel_names",
+    "kernel_phase",
     "numba_version",
     "register",
     "requested_backend",

@@ -234,4 +234,10 @@ def _warmup(fn):
     fn(phi, active_idx, w_eff, origin, slope, const, idle, rows, m_idx, fscratch, iscratch)
 
 
-register("ema_dp", numpy=ema_dp_numpy, python=ema_dp_loops, warmup=_warmup)
+register(
+    "ema_dp",
+    numpy=ema_dp_numpy,
+    python=ema_dp_loops,
+    warmup=_warmup,
+    phase="schedule",
+)

@@ -322,10 +322,12 @@ register(
     numpy=fleet_begin_slot_numpy,
     python=fleet_begin_slot_loops,
     warmup=_warmup_begin,
+    phase="playback",
 )
 register(
     "fleet_deliver",
     numpy=fleet_deliver_numpy,
     python=fleet_deliver_loops,
     warmup=_warmup_deliver,
+    phase="transmit",
 )

@@ -21,9 +21,9 @@ from typing import Callable
 from repro.errors import ConfigurationError
 from repro.kernels import backend as _backend
 
-__all__ = ["register", "resolve", "kernel_names"]
+__all__ = ["register", "resolve", "kernel_names", "kernel_phase"]
 
-#: name -> {"numpy": fn, "python": fn, "warmup": fn | None}
+#: name -> {"numpy": fn, "python": fn, "warmup": fn | None, "phase": str | None}
 _KERNELS: dict[str, dict] = {}
 
 #: name -> compiled-and-warmed numba dispatcher.
@@ -36,21 +36,58 @@ def register(
     numpy: Callable,
     python: Callable,
     warmup: Callable | None = None,
+    phase: str | None = None,
 ) -> None:
     """Register a kernel's backend implementations.
 
     ``warmup`` is called with the (possibly JIT-compiled) python
     implementation and must invoke it once on minimal arrays of the
     real dtypes, forcing Numba to specialise the production signature.
+
+    ``phase`` names the engine pipeline phase the kernel runs inside
+    (``playback``/``observe``/``schedule``/``transmit``/``rrc``) —
+    when a :class:`~repro.obs.spans.SpanRecorder` is ambient at
+    resolution time, the returned callable self-reports a
+    ``run;slots;<phase>;kernel:<name>[<backend>]`` span per call.
     """
     if name in _KERNELS:
         raise ConfigurationError(f"kernel {name!r} registered twice")
-    _KERNELS[name] = {"numpy": numpy, "python": python, "warmup": warmup}
+    _KERNELS[name] = {
+        "numpy": numpy, "python": python, "warmup": warmup, "phase": phase,
+    }
 
 
 def kernel_names() -> tuple[str, ...]:
     """All registered kernel names (sorted)."""
     return tuple(sorted(_KERNELS))
+
+
+def kernel_phase(name: str) -> str | None:
+    """The engine phase ``name`` was registered under (``None`` if unset)."""
+    entry = _KERNELS.get(name)
+    return entry["phase"] if entry is not None else None
+
+
+def _span_timed(fn: Callable, adder: Callable[[float], None]) -> Callable:
+    """Wrap ``fn`` so every call adds its duration to one span node.
+
+    The adder is a bound closure over the recorder's preallocated
+    arrays — per call the wrapper costs two ``perf_counter`` reads and
+    one in-place add.  ``fn``/``perf_counter``/``adder`` are bound as
+    defaults so the wrapper body runs on fast locals only, and there
+    is deliberately no ``**kwargs`` (every registered kernel takes
+    positional arguments only) so calls skip the per-call dict.
+    """
+
+    def _timed(*args, _fn=fn, _pc=perf_counter, _adder=adder):
+        t0 = _pc()
+        out = _fn(*args)
+        _adder(_pc() - t0)
+        return out
+
+    _timed.__name__ = getattr(fn, "__name__", "kernel")
+    _timed.__wrapped__ = fn
+    return _timed
 
 
 def resolve(name: str, backend: str | None = None) -> Callable:
@@ -59,6 +96,11 @@ def resolve(name: str, backend: str | None = None) -> Callable:
     ``backend=None`` uses :func:`repro.kernels.backend.resolved_backend`
     — callers cache the result per run and re-resolve after a reset so
     an ambient :func:`~repro.kernels.backend.use_backend` block governs.
+
+    When a span recorder is ambient (:func:`repro.obs.spans.activate_spans`)
+    and the kernel declared a ``phase``, the callable comes back wrapped
+    with backend-tagged span recording; the raw implementations (and the
+    numba compile cache) are never mutated.
     """
     entry = _KERNELS.get(name)
     if entry is None:
@@ -68,21 +110,31 @@ def resolve(name: str, backend: str | None = None) -> Callable:
     if backend is None:
         backend = _backend.resolved_backend()
     if backend == "numpy":
-        return entry["numpy"]
-    if backend == "python":
-        return entry["python"]
-    if backend == "numba":
+        fn = entry["numpy"]
+    elif backend == "python":
+        fn = entry["python"]
+    elif backend == "numba":
         fn = _NUMBA_COMPILED.get(name)
         if fn is None:
             fn = _backend.maybe_njit(entry["python"])
             if fn is None:  # requested numba explicitly on a numpy-only host
-                return entry["numpy"]
-            t0 = perf_counter()
-            if entry["warmup"] is not None:
-                entry["warmup"](fn)
-            _backend.record_compile_time(name, perf_counter() - t0)
-            _NUMBA_COMPILED[name] = fn
-        return fn
-    raise ConfigurationError(
-        f"kernel backend must be numpy, numba, or python, got {backend!r}"
-    )
+                backend = "numpy"
+                fn = entry["numpy"]
+            else:
+                t0 = perf_counter()
+                if entry["warmup"] is not None:
+                    entry["warmup"](fn)
+                _backend.record_compile_time(name, perf_counter() - t0)
+                _NUMBA_COMPILED[name] = fn
+    else:
+        raise ConfigurationError(
+            f"kernel backend must be numpy, numba, or python, got {backend!r}"
+        )
+    if entry["phase"] is not None:
+        from repro.obs.spans import SLOT_PREFIX, current_spans
+
+        spans = current_spans()
+        if spans is not None:
+            path = SLOT_PREFIX + (entry["phase"], f"kernel:{name}[{backend}]")
+            return _span_timed(fn, spans.adder(spans.path_node(path)))
+    return fn

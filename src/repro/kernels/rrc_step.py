@@ -174,10 +174,17 @@ def _warmup_idle_cost(fn):
     )
 
 
-register("rrc_step", numpy=rrc_step_numpy, python=rrc_step_loops, warmup=_warmup_step)
+register(
+    "rrc_step",
+    numpy=rrc_step_numpy,
+    python=rrc_step_loops,
+    warmup=_warmup_step,
+    phase="rrc",
+)
 register(
     "rrc_idle_cost",
     numpy=rrc_idle_cost_numpy,
     python=rrc_idle_cost_loops,
     warmup=_warmup_idle_cost,
+    phase="observe",
 )

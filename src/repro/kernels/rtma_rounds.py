@@ -84,4 +84,10 @@ def _warmup(fn):
     fn(phi, eligible, need, cap, order, np.int64(2))
 
 
-register("rtma_rounds", numpy=rtma_rounds_numpy, python=rtma_rounds_loops, warmup=_warmup)
+register(
+    "rtma_rounds",
+    numpy=rtma_rounds_numpy,
+    python=rtma_rounds_loops,
+    warmup=_warmup,
+    phase="schedule",
+)

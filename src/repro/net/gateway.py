@@ -387,6 +387,11 @@ class Gateway:
         if timed:
             cache = self._obs_cache
             if cache is None or cache[0] is not instrumentation:
+                # Only the profiler sees per-slot samples; span phase
+                # totals are derived from these same lists by the
+                # engine after the run (SpanRecorder.add_bulk), so the
+                # gateway's hot path is identical with or without a
+                # span recorder attached.
                 profiler = instrumentation.profiler
                 cache = self._obs_cache = (
                     instrumentation,

@@ -8,6 +8,9 @@ optional :class:`~repro.obs.instrument.Instrumentation` bundle:
 * :mod:`repro.obs.metrics` — a counters/gauges/histograms registry;
 * :mod:`repro.obs.profiler` — per-phase wall-clock timing with
   p50/p95/max summaries;
+* :mod:`repro.obs.spans` — hierarchical span profiling (run →
+  slot-block → phase → kernel) with collapsed-stack / speedscope /
+  flame-graph export;
 * :mod:`repro.obs.provenance` — run manifests (config hash, seed, git
   revision, package version);
 * :mod:`repro.obs.cli` — the ``repro-trace`` console entry point.
@@ -19,7 +22,9 @@ On top of the emission side sits the analysis/verification backend:
 * :mod:`repro.obs.compare` — tolerance-aware run diffing and the
   kernel-bench regression gate (``repro-compare``);
 * :mod:`repro.obs.report` — self-contained HTML run reports
-  (``repro-report``).
+  (``repro-report``);
+* :mod:`repro.obs.perf` — the benchmark history ledger and noise-aware
+  change-point detection behind ``repro-bench``.
 
 And beside both, the **live telemetry plane** (:mod:`repro.obs.live`):
 streaming aggregators (EWMA / Welford / P² quantile sketches), an
@@ -66,9 +71,25 @@ from repro.obs.live import (
     logging_setup,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.perf import (
+    BenchRecord,
+    check_against_history,
+    load_ledger,
+    machine_fingerprint,
+    record_snapshot,
+    trend_html,
+)
 from repro.obs.profiler import PhaseProfiler, PhaseTimer, null_phase
 from repro.obs.provenance import RunManifest, build_manifest, config_hash, git_revision
 from repro.obs.report import render_report, write_report
+from repro.obs.spans import (
+    NULL_SPAN,
+    NullSpan,
+    SpanRecorder,
+    activate_spans,
+    current_spans,
+    flamegraph_svg,
+)
 from repro.obs.tracer import JsonlTraceWriter, NullTracer, RecordingTracer, Tracer
 
 __all__ = [
@@ -105,6 +126,18 @@ __all__ = [
     "PhaseProfiler",
     "PhaseTimer",
     "null_phase",
+    "SpanRecorder",
+    "NullSpan",
+    "NULL_SPAN",
+    "activate_spans",
+    "current_spans",
+    "flamegraph_svg",
+    "BenchRecord",
+    "machine_fingerprint",
+    "record_snapshot",
+    "load_ledger",
+    "check_against_history",
+    "trend_html",
     "RunManifest",
     "build_manifest",
     "config_hash",

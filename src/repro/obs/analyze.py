@@ -745,11 +745,14 @@ def check_trace(
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.cli import add_version_argument
+
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Reconstruct per-run timelines from a trace and check "
         "the paper's invariants (Eqs. 1-2, 7, 10/12, 16/18).",
     )
+    add_version_argument(parser)
     parser.add_argument("target", help="run directory or trace.jsonl[.gz] path")
     parser.add_argument(
         "--max-violations", type=int, default=20,

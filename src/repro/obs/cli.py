@@ -9,8 +9,15 @@ bundle attached, then writes three artifacts into the output directory:
 * ``manifest.json`` — provenance: config hash, seed, package version,
   git revision, wall time, event count;
 * ``metrics.json`` — the final counters/gauges/histograms snapshot;
+* ``spans.json`` / ``spans.collapsed.txt`` / ``spans.speedscope.json``
+  — the hierarchical span tree (run → slot-block → phase → kernel; see
+  :mod:`repro.obs.spans`), as raw state, collapsed-stack text, and a
+  speedscope profile (``--no-spans`` disables);
 
-and prints the per-phase wall-clock timing table.  An existing trace
+and prints the per-phase wall-clock timing table.
+
+This module also hosts :func:`add_version_argument`, the shared
+``--version`` helper every ``repro-*`` console script installs.  An existing trace
 in the output directory is never silently overwritten — pass
 ``--force``.  ``--gzip`` writes ``trace.jsonl.gz`` instead (the
 analysis tools read both), and ``--report`` additionally renders the
@@ -34,11 +41,28 @@ from pathlib import Path
 from repro.analysis.tables import summary_table
 from repro.obs.instrument import Instrumentation, use_instrumentation
 from repro.obs.provenance import build_manifest
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import JsonlTraceWriter
 
-__all__ = ["main", "QUICKSTART"]
+__all__ = ["main", "QUICKSTART", "add_version_argument"]
 
 log = logging.getLogger("repro.obs.cli")
+
+
+def add_version_argument(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install the standard ``--version`` flag on a ``repro-*`` parser.
+
+    Prints ``<prog> <version>`` sourced from package metadata and
+    exits — one helper so every console script reports identically.
+    """
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    return parser
 
 #: The built-in smoke scenario: a small contended cell that finishes in
 #: seconds (used by CI to validate the tracing pipeline end to end).
@@ -113,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render report.html into the output directory",
     )
+    parser.add_argument(
+        "--no-spans",
+        action="store_true",
+        help="skip hierarchical span profiling (no spans.* artifacts)",
+    )
+    add_version_argument(parser)
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out if args.out is not None else f"trace_{args.target}")
@@ -132,7 +162,8 @@ def main(argv: list[str] | None = None) -> int:
         stale.unlink()
     trace_name = "trace.jsonl.gz" if args.gzip else "trace.jsonl"
     tracer = JsonlTraceWriter(out_dir / trace_name)
-    instr = Instrumentation(tracer=tracer)
+    spans = None if args.no_spans else SpanRecorder()
+    instr = Instrumentation(tracer=tracer, spans=spans)
 
     started = time.perf_counter()
     if args.target == QUICKSTART:
@@ -161,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
     manifest.wall_time_s = wall_time
     manifest_path = manifest.write_json(out_dir / "manifest.json")
     metrics_path = instr.metrics.write_json(out_dir / "metrics.json")
+    span_paths = spans.write_artifacts(out_dir) if spans is not None else []
     report_path = None
     if args.report:
         from repro.obs.report import write_report
@@ -170,10 +202,15 @@ def main(argv: list[str] | None = None) -> int:
     print(rendering)
     print()
     print(instr.profiler.render_table())
+    if spans is not None:
+        print()
+        print(spans.render_table())
     print()
     print(f"trace:    {tracer.path} ({tracer.n_events} events)")
     print(f"manifest: {manifest_path}")
     print(f"metrics:  {metrics_path}")
+    for span_path in span_paths:
+        print(f"spans:    {span_path}")
     backend_line = f"backend:  {manifest.kernel_backend}"
     if manifest.numba_version is not None:
         backend_line += f" (numba {manifest.numba_version})"

@@ -295,11 +295,14 @@ def compare_bench(
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.cli import add_version_argument
+
     parser = argparse.ArgumentParser(
         prog="repro-compare",
         description="Diff two runs' metrics (or two kernel-bench snapshots) "
         "under direction-aware tolerances; exit 1 on regression.",
     )
+    add_version_argument(parser)
     parser.add_argument("baseline", help="run dir or metrics/bench JSON (reference)")
     parser.add_argument("candidate", help="run dir or metrics/bench JSON (under test)")
     parser.add_argument("--abs-tol", type=float, default=1e-9)

@@ -9,6 +9,10 @@ One object carries the observability facets through the pipeline:
   (:mod:`repro.obs.live`): streaming aggregators, the SLO watchdog,
   heartbeats, and snapshot export, fed once per engine slot.  ``None``
   (the default) costs the hot loop a single attribute test.
+* ``spans`` — the optional hierarchical span profiler
+  (:mod:`repro.obs.spans`): run → slot-block → phase → kernel timing
+  attribution with flame-graph export.  ``None`` (the default) keeps
+  the engine on the NullSpan fast path.
 
 Passing the bundle explicitly (``Simulation(cfg, sched,
 instrumentation=instr)`` or ``run_scheduler(..., instrumentation=instr)``)
@@ -49,7 +53,7 @@ class Instrumentation:
     without writing a trace anywhere.
     """
 
-    __slots__ = ("tracer", "metrics", "profiler", "live")
+    __slots__ = ("tracer", "metrics", "profiler", "live", "spans")
 
     def __init__(
         self,
@@ -57,6 +61,7 @@ class Instrumentation:
         metrics: MetricsRegistry | None = None,
         profiler: PhaseProfiler | None = None,
         live=None,
+        spans=None,
     ):
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -67,6 +72,10 @@ class Instrumentation:
         self.live = live
         if live is not None:
             live.bind(self.metrics, self.tracer)
+        #: Optional :class:`repro.obs.spans.SpanRecorder`; the engine
+        #: activates it around the slot loop so registry-resolved
+        #: kernels self-report backend-tagged spans.
+        self.spans = spans
 
     def close(self) -> None:
         """Close the tracer (flushes file-backed writers) and the live plane."""
@@ -83,7 +92,8 @@ class Instrumentation:
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<Instrumentation tracer={type(self.tracer).__name__} "
-            f"metrics={len(self.metrics)} phases={len(self.profiler.phases)}>"
+            f"metrics={len(self.metrics)} phases={len(self.profiler.phases)}"
+            f"{' spans' if self.spans is not None else ''}>"
         )
 
 

@@ -140,11 +140,14 @@ def render_dashboard(snap: dict[str, Any]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.cli import add_version_argument
+
     parser = argparse.ArgumentParser(
         prog="repro-watch",
         description="Terminal dashboard over a live run's telemetry "
         "snapshot (file push or HTTP pull endpoint).",
     )
+    add_version_argument(parser)
     parser.add_argument(
         "source",
         help="snapshot JSON path, run directory, or http://host:port endpoint",

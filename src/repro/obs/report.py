@@ -15,7 +15,11 @@ Per run (a trace holds one run per scheduler) the report shows:
   legible at a glance (EMA's batching, RTMA's threshold gating);
 * the CDF of per-user total rebuffering (the paper's Fig. 3 axis);
 * the DCH / FACH / tail energy split and RRC residency bar;
-* the invariant-check results from :mod:`repro.obs.analyze`.
+* the invariant-check results from :mod:`repro.obs.analyze`;
+* when the run directory carries ``spans.json`` (written by
+  ``repro-trace``), the hierarchical span profile as an inline-SVG
+  flame graph — run → slot-block → phase → kernel wall-clock
+  attribution (see :mod:`repro.obs.spans`).
 
 The provenance header is read from the run's ``manifest.json`` when
 present, so a report is traceable back to config hash + git revision.
@@ -236,6 +240,44 @@ def _run_section(tl: RunTimeline, report: InvariantReport) -> str:
     return "".join(parts)
 
 
+def _spans_section(run_dir: Path) -> str:
+    """Flame graph + top-span table from the run's ``spans.json``."""
+    spans_path = run_dir / "spans.json"
+    if not spans_path.exists():
+        return ""
+    try:
+        state = json.loads(spans_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return ""
+    if not isinstance(state, dict) or not state:
+        return ""
+    from repro.obs.spans import flamegraph_svg
+
+    parts = ["<h2>Where the time went</h2>", flamegraph_svg(state)]
+    rows = sorted(
+        (
+            (path, values)
+            for path, values in state.items()
+            if isinstance(values, list) and len(values) == 2
+        ),
+        key=lambda item: -float(item[1][1]),
+    )[:12]
+    body = "".join(
+        f"<tr><td class='label'><code>{html.escape(path)}</code></td>"
+        f"<td>{int(count)}</td><td>{float(total):.4f}</td></tr>"
+        for path, (count, total) in rows
+    )
+    parts.append(
+        "<table><tr><th>span</th><th>calls</th><th>total (s)</th></tr>"
+        + body
+        + "</table>"
+        "<p class='meta'>Full profile: <code>spans.collapsed.txt</code> "
+        "(collapsed stacks) · <code>spans.speedscope.json</code> "
+        "(load at speedscope.app).</p>"
+    )
+    return "".join(parts)
+
+
 def _provenance(run_dir: Path) -> str:
     manifest_path = run_dir / "manifest.json"
     if not manifest_path.exists():
@@ -277,6 +319,7 @@ def render_report(target: str | Path, title: str | None = None) -> str:
         + (f"<h2>Summary</h2>{_summary_table(timelines)}" if timelines else
            "<p class='bad'>No runs found in trace.</p>")
         + "".join(sections)
+        + _spans_section(run_dir)
     )
     return (
         "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
@@ -297,11 +340,14 @@ def write_report(
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.cli import add_version_argument
+
     parser = argparse.ArgumentParser(
         prog="repro-report",
         description="Render a traced run directory to a single self-contained "
         "HTML report (inline SVG, no external assets).",
     )
+    add_version_argument(parser)
     parser.add_argument("target", help="run directory or trace.jsonl[.gz] path")
     parser.add_argument("--out", default=None, help="output path (default: <run_dir>/report.html)")
     parser.add_argument("--title", default=None, help="report title")

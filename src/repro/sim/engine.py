@@ -47,6 +47,7 @@ from repro.net.basestation import BaseStation, ConstantCapacity
 from repro.net.gateway import Gateway
 from repro.net.slicing import ResourceSlicer
 from repro.obs.instrument import Instrumentation, current_instrumentation
+from repro.obs.spans import SLOT_PREFIX, activate_spans
 from repro.radio.rrc import RRCFleet, fleet_occupancy_from_tx
 from repro.sim.config import SimConfig
 from repro.sim.results import SimulationResult
@@ -65,6 +66,13 @@ _TRACED_SCHEDULER_PARAMS = (
     "v_param",
     "queue_floor_s",
 )
+
+
+#: Slots per hierarchical-span slot block: the span profiler closes one
+#: ``run;slots`` span every this many slots (same batching idea as the
+#: live plane's ``watch_every``) so block accounting costs the hot loop
+#: a single comparison per slot.
+SPAN_BLOCK_SLOTS = 64
 
 
 def _scheduler_trace_params(scheduler) -> dict:
@@ -146,15 +154,25 @@ class Simulation:
         return self._run()
 
     def _run(self) -> SimulationResult:
-        cfg = self.config
-        radio = cfg.radio
-        n, gamma = cfg.n_users, cfg.n_slots
-
         instr = (
             self.instrumentation
             if self.instrumentation is not None
             else current_instrumentation()
         )
+        spans = instr.spans if instr is not None else None
+        if spans is None:
+            return self._run_body(instr)
+        # Activate the recorder for the *whole* body — scheduler.reset()
+        # and the lazy fleet/RRC kernel resolutions all happen inside,
+        # so every registry-resolved kernel self-reports its span.
+        with activate_spans(spans), spans.span("run"):
+            return self._run_body(instr)
+
+    def _run_body(self, instr: Instrumentation | None) -> SimulationResult:
+        cfg = self.config
+        radio = cfg.radio
+        n, gamma = cfg.n_users, cfg.n_slots
+
         # The hot loop appends perf_counter deltas to the profiler's raw
         # sample lists rather than entering a context manager per phase
         # per slot, and all registry accounting that can be derived from
@@ -164,6 +182,8 @@ class Simulation:
         instrumented = instr is not None
         live = instr.live if instrumented else None
         live_on = live is not None
+        spans = instr.spans if instrumented else None
+        spans_on = spans is not None
         if instrumented:
             tracer = instr.tracer
             trace_on = tracer.enabled
@@ -179,6 +199,35 @@ class Simulation:
             rec_rrc = prof.samples("rrc").append
             rec_feedback = prof.samples("feedback").append
             budgets = np.zeros(gamma, dtype=np.int64)
+        if spans_on:
+            # Phase spans are *derived* from the profiler's sample
+            # lists after the loop (see _fold_phase_spans below) — the
+            # slot loop pays nothing for them.  Intern the phase nodes
+            # now, in pipeline order, so they precede the kernel nodes
+            # resolved mid-run and the flame graph reads like a slot.
+            rec_block = spans.adder(spans.path_node(SLOT_PREFIX))
+            _span_phase_ids = {
+                ph: spans.slot_phase_id(ph)
+                for ph in (
+                    "playback", "observe", "schedule", "transmit",
+                    "rrc", "feedback",
+                )
+            }
+            # The profiler may already hold samples from an earlier
+            # run against the same bundle; fold only this run's tail.
+            _span_phase_base = {
+                ph: len(prof.samples(ph)) for ph in _span_phase_ids
+            }
+
+            def _fold_phase_spans() -> None:
+                # Totals are computed exactly the way
+                # PhaseProfiler.summary() computes them — float(sum())
+                # over the sorted samples — so span phase totals equal
+                # profiler totals bit-for-bit.
+                for ph, node in _span_phase_ids.items():
+                    tail = prof.samples(ph)[_span_phase_base[ph]:]
+                    if tail:
+                        spans.add_bulk(node, len(tail), float(sum(sorted(tail))))
 
         self.scheduler.reset()
         self.scheduler.bind_instrumentation(instr)
@@ -245,6 +294,9 @@ class Simulation:
             live.begin_run(scheduler_name, n_slots=gamma, n_users=n)
             live_every = live.watch_every
             live_start = 0
+        if spans_on:
+            span_block_start = 0
+            _block_t0 = perf_counter()
 
         slot = -1
         try:
@@ -384,6 +436,15 @@ class Simulation:
                         active_users=int(active_rec[slot].sum()),
                     )
                     live_start = end
+                # One run;slots span per block of SPAN_BLOCK_SLOTS slots
+                # (plus the run tail) — a single comparison per slot.
+                if spans_on and (
+                    slot - span_block_start + 1 >= SPAN_BLOCK_SLOTS
+                    or slot == gamma - 1
+                ):
+                    rec_block(_pc() - _block_t0)
+                    span_block_start = slot + 1
+                    _block_t0 = _pc()
         except BaseException as exc:
             # Leave a valid, parseable trace prefix behind a crashed (or
             # SLO-aborted) run: one final run.abort event, then flush and
@@ -395,6 +456,8 @@ class Simulation:
                     type(exc).__name__,
                     exc,
                 )
+                if spans_on:
+                    _fold_phase_spans()
                 if trace_on:
                     tracer.emit(
                         "run.abort",
@@ -407,6 +470,9 @@ class Simulation:
                     live.abort_run(f"{type(exc).__name__}: {exc}")
                 instr.close()
             raise
+
+        if spans_on:
+            _fold_phase_spans()
 
         if not np.all(np.isfinite(e_trans)):
             raise SimulationError("non-finite transmission energy recorded")

@@ -30,10 +30,13 @@ Determinism contract
   worker, cached by :func:`~repro.obs.provenance.config_hash` — the
   same deterministic generation a serial run performs;
 * each worker runs under a private :class:`Instrumentation` whose
-  metrics state and profiler samples are merged back into the parent
-  bundle in task order.  Engine counters receive one increment per
-  run, so the merged registry equals the serially-populated one
-  exactly (``tests/sim/test_executor.py``).
+  metrics state, profiler samples, and (when the parent bundle carries
+  a :class:`~repro.obs.spans.SpanRecorder`) span-tree state are merged
+  back into the parent bundle in task order.  Engine counters receive
+  one increment per run, so the merged registry equals the
+  serially-populated one exactly, and the merged span tree has the
+  same structure and counts as a serial run's
+  (``tests/sim/test_executor.py``).
 
 The one thing workers do **not** ship back is per-slot trace events —
 a parallel run's trace contains the orchestration-level events only
@@ -135,7 +138,7 @@ def _init_worker(
 
 
 def _run_task(payload):
-    config, scheduler, wl_key, instrumented, task_index = payload
+    config, scheduler, wl_key, instrumented, spans_on, task_index = payload
     if wl_key is not None:
         workload = _WORKER_WORKLOADS[wl_key]
     else:
@@ -153,17 +156,28 @@ def _run_task(payload):
         result = Simulation(config, scheduler, workload).run()
         if heartbeat is not None:
             heartbeat.beat("idle")
-        return result, None, None
+        return result, None, None, None
     live = None
     if _WORKER_LIVE_SPEC is not None or heartbeat is not None:
         from repro.obs.live import LiveTelemetry
 
         live = LiveTelemetry.from_spec(_WORKER_LIVE_SPEC or {}, heartbeat=heartbeat)
-    instr = Instrumentation(live=live)  # NullTracer: slot events stay local
+    spans = None
+    if spans_on:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder()
+    # NullTracer: slot events stay local.
+    instr = Instrumentation(live=live, spans=spans)
     result = Simulation(config, scheduler, workload, instrumentation=instr).run()
     if heartbeat is not None:
         heartbeat.beat("idle")
-    return result, instr.metrics.state(), instr.profiler.raw_samples()
+    return (
+        result,
+        instr.metrics.state(),
+        instr.profiler.raw_samples(),
+        spans.state() if spans is not None else None,
+    )
 
 
 class RunExecutor:
@@ -238,6 +252,7 @@ class RunExecutor:
         payloads = []
         instrumented = instr is not None
         live = instr.live if instrumented else None
+        spans_on = instrumented and instr.spans is not None
         for index, t in enumerate(tasks):
             wl_key = None
             if t.workload is not None:
@@ -251,7 +266,9 @@ class RunExecutor:
             bind = getattr(t.scheduler, "bind_instrumentation", None)
             if bind is not None:
                 bind(None)
-            payloads.append((t.config, t.scheduler, wl_key, instrumented, index))
+            payloads.append(
+                (t.config, t.scheduler, wl_key, instrumented, spans_on, index)
+            )
 
         # Workers rebuild the parent's live plane from its picklable
         # spec so SLO rules are evaluated on exactly the per-run slot
@@ -312,13 +329,18 @@ class RunExecutor:
             if manager is not None:
                 manager.shutdown()
         results = []
-        for result, metrics_state, profiler_samples in outs:
+        for result, metrics_state, profiler_samples, spans_state in outs:
             results.append(result)
             if instr is not None:
                 if metrics_state is not None:
                     instr.metrics.merge_state(metrics_state)
                 if profiler_samples is not None:
                     instr.profiler.merge_samples(profiler_samples)
+                # Span trees merge in task order, so a pooled batch
+                # interns paths in the same order a serial one records
+                # them — tree structure and counts are deterministic.
+                if spans_state is not None and instr.spans is not None:
+                    instr.spans.merge_state(spans_state)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover

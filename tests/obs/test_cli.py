@@ -3,6 +3,8 @@
 import gzip
 import json
 
+import pytest
+
 from repro.obs.cli import main
 
 
@@ -80,3 +82,31 @@ class TestReproTrace:
         assert "<svg" in html
         for marker in ("http://", "https://", "<script", "src="):
             assert marker not in html
+
+
+class TestVersionFlag:
+    """Every console script answers ``--version`` with the package
+    version (satellite of the performance-observatory issue; the flag
+    is wired through :func:`repro.obs.cli.add_version_argument`)."""
+
+    CLIS = {
+        "repro-trace": "repro.obs.cli",
+        "repro-analyze": "repro.obs.analyze",
+        "repro-compare": "repro.obs.compare",
+        "repro-report": "repro.obs.report",
+        "repro-watch": "repro.obs.live.watch",
+        "repro-experiments": "repro.experiments.registry",
+        "repro-bench": "repro.obs.bench_cli",
+    }
+
+    @pytest.mark.parametrize("prog", sorted(CLIS))
+    def test_version_prints_prog_and_version(self, prog, capsys):
+        import importlib
+
+        from repro import __version__
+
+        cli_main = importlib.import_module(self.CLIS[prog]).main
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"{prog} {__version__}"
