@@ -66,6 +66,25 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Clear internal state before a fresh run (default: no-op)."""
 
+    def grow_users(self, n_users: int) -> None:
+        """Resize per-user state to ``n_users`` rows (dynamic lifecycle).
+
+        Called by the dynamic engine whenever the fleet's row capacity
+        changes.  Stateful policies must preserve the state of the
+        common row prefix bit-for-bit and initialise new rows exactly
+        like a fresh run; the one shrink happens at run start, before
+        any state accrues.  Stateless policies (and policies whose
+        scratch auto-sizes to the observation) inherit this no-op.
+        """
+
+    def release_users(self, rows) -> None:
+        """Reset per-user state for vacated rows (default: no-op).
+
+        Called when sessions retire; ``rows`` indexes rows that may be
+        recycled for future sessions and must come up indistinguishable
+        from freshly-initialised ones.
+        """
+
     @staticmethod
     def _zeros(obs: SlotObservation) -> np.ndarray:
         """Fresh all-zeros allocation for ``obs``."""

@@ -35,6 +35,7 @@ from collections.abc import Callable
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    churn_sessions,
     fig02_fairness_rtma,
     fig03_rebuffering_cdf,
     fig04_rtma_efficacy,
@@ -63,6 +64,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig09": fig09_ema_comparison.run,
     "fig10": fig10_tradeoff_panel.run,
     "theorem1": theorem1_bounds.run,
+    "churn": churn_sessions.run,
 }
 
 

@@ -32,13 +32,22 @@ class SlotArena:
     the transmit-path scratch (``want_kb``, ``accepted_kb``,
     ``drained_kb``, ``tx_mask``) and two generic temporaries
     (``f8_tmp``, ``b1_tmp``) for intermediate ufunc chains.
+
+    The dynamic session-lifecycle engine additionally uses four
+    row-space buffers that survive the whole slot (``sig_dbm``,
+    ``rebuf_s``, ``trans_mj``, ``tail_mj``) — the generic temporaries
+    are clobbered inside ``collect_fleet`` — and can :meth:`grow` the
+    arena in lockstep with the fleet so kernels stay allocation-free
+    once the population stops growing.
     """
 
     def __init__(self, n_users: int):
         if n_users <= 0:
             raise ConfigurationError("n_users must be positive")
-        n = int(n_users)
-        self.n_users = n
+        self.n_users = int(n_users)
+        self._allocate(self.n_users)
+
+    def _allocate(self, n: int) -> None:
         self.link_units = np.empty(n, dtype=np.int64)
         self.p_mj_per_kb = np.empty(n, dtype=float)
         self.active = np.empty(n, dtype=bool)
@@ -51,3 +60,19 @@ class SlotArena:
         self.tx_mask = np.empty(n, dtype=bool)
         self.f8_tmp = np.empty(n, dtype=float)
         self.b1_tmp = np.empty(n, dtype=bool)
+        self.sig_dbm = np.empty(n, dtype=float)
+        self.rebuf_s = np.empty(n, dtype=float)
+        self.trans_mj = np.empty(n, dtype=float)
+        self.tail_mj = np.empty(n, dtype=float)
+
+    def grow(self, new_n_users: int) -> None:
+        """Resize every buffer to ``new_n_users`` rows.
+
+        Arena buffers hold no cross-slot state (each is valid only
+        within the slot that filled it), so growth is a plain
+        reallocation — callers must grow between slots.
+        """
+        if new_n_users <= self.n_users:
+            raise ConfigurationError("grow requires new_n_users > current n_users")
+        self.n_users = int(new_n_users)
+        self._allocate(self.n_users)

@@ -74,6 +74,12 @@ class SlotObservation:
     #: Receiver window: bytes each client can accept this slot, KB
     #: (inf for uncapped buffers).
     receivable_kb: np.ndarray = None  # type: ignore[assignment]
+    #: Rows whose session was admitted this slot (dynamic lifecycle
+    #: runs only; ``None`` on fixed-population runs).
+    joined: np.ndarray | None = None
+    #: Rows vacated since the previous slot (dynamic lifecycle runs
+    #: only; ``None`` on fixed-population runs).
+    departed: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.receivable_kb is None:
@@ -122,6 +128,24 @@ class DataReceiver:
         fetch = np.maximum(target - self.queued_kb, 0.0)
         self.queued_kb += fetch
         self.fetched_total_kb += fetch
+
+    def grow(self, new_n_users: int) -> None:
+        """Resize to ``new_n_users`` queues, preserving existing ones."""
+        old = self.n_users
+        if new_n_users <= old:
+            raise ConfigurationError("grow requires new_n_users > current n_users")
+        queued = np.zeros(new_n_users, dtype=float)
+        queued[:old] = self.queued_kb
+        fetched = np.zeros(new_n_users, dtype=float)
+        fetched[:old] = self.fetched_total_kb
+        self.queued_kb = queued
+        self.fetched_total_kb = fetched
+        self.n_users = int(new_n_users)
+
+    def reset_rows(self, rows) -> None:
+        """Drop queue state for vacated/recycled rows."""
+        self.queued_kb[rows] = 0.0
+        self.fetched_total_kb[rows] = 0.0
 
     def drain(self, amounts_kb: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Remove up to ``amounts_kb`` per user; returns what was taken."""
@@ -201,6 +225,8 @@ class InformationCollector:
         power_model,
         idle_tail_cost_mj: np.ndarray,
         arena=None,
+        joined: np.ndarray | None = None,
+        departed: np.ndarray | None = None,
     ) -> SlotObservation:
         """:meth:`collect`, reading a :class:`~repro.media.fleet.ClientFleet`.
 
@@ -258,6 +284,8 @@ class InformationCollector:
             remaining_kb=remaining,
             idle_tail_cost_mj=np.asarray(idle_tail_cost_mj, dtype=float),
             receivable_kb=receivable,
+            joined=joined,
+            departed=departed,
         )
 
 
@@ -360,6 +388,8 @@ class Gateway:
         instrumentation=None,
         fleet=None,
         arena=None,
+        joined_mask: np.ndarray | None = None,
+        departed_mask: np.ndarray | None = None,
     ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
         """Run one slot of the framework.
 
@@ -414,6 +444,8 @@ class Gateway:
                 power_model,
                 idle_tail_cost_mj,
                 arena=arena,
+                joined=joined_mask,
+                departed=departed_mask,
             )
         else:
             obs = self.collector.collect(

@@ -59,6 +59,7 @@ __all__ = [
     "CapacityChecker",
     "RTMAEnergyBudgetChecker",
     "EMAQueueChecker",
+    "SessionConservationChecker",
     "DEFAULT_CHECKERS",
     "InvariantReport",
     "check_invariants",
@@ -167,6 +168,10 @@ class RunTimeline:
     #: snapshots themselves, shape ``(len(slots), n_users)``.
     ema_queue_slots: np.ndarray | None = None
     ema_queues: np.ndarray | None = None
+    #: Session lifecycle events (``session.start`` / ``session.reject``
+    #: / ``session.end``) in trace order; empty for fixed-population
+    #: runs, which emit none.
+    sessions: list[dict[str, Any]] = field(default_factory=list)
     #: The ``run.end`` event's summary fields, when present.
     end_summary: dict[str, Any] = field(default_factory=dict)
 
@@ -224,9 +229,15 @@ class RunTimeline:
         }
 
     def energy_split_mj(self) -> dict[str, float] | None:
-        """Run-total energy split: transmission vs DCH-tail vs FACH-tail."""
+        """Run-total energy split: transmission vs DCH-tail vs FACH-tail.
+
+        ``None`` on dynamic runs: the split is reconstructed from the
+        transmission history assuming every user rides its tail to the
+        end, but retirement cuts tails short, so the reconstruction
+        over-counts.
+        """
         tx = self.tx_mask
-        if tx is None or "energy_trans_mj" not in self.grids:
+        if tx is None or "energy_trans_mj" not in self.grids or self.sessions:
             return None
         dch, fach = tail_split_from_tx(tx, self.tau_s, self.rrc)
         return {
@@ -234,6 +245,37 @@ class RunTimeline:
             "tail_dch_mj": float(dch.sum()),
             "tail_fach_mj": float(fach.sum()),
         }
+
+    def session_rows(self) -> list[dict[str, Any]]:
+        """Per-session lifecycle table reconstructed from the events.
+
+        One dict per session that produced any lifecycle event, sorted
+        by arrival, with ``user``, ``start_slot``/``end_slot`` (``None``
+        while unresolved), and ``outcome`` (``completed`` / ``active`` /
+        ``rejected``).
+        """
+        by_user: dict[int, dict[str, Any]] = {}
+        for ev in self.sessions:
+            user = int(ev.get("user", -1))
+            row = by_user.setdefault(
+                user, {"user": user, "start_slot": None, "end_slot": None,
+                       "outcome": None}
+            )
+            kind = ev.get("kind")
+            if kind == "session.start":
+                row["start_slot"] = int(ev["slot"])
+                row["outcome"] = "active"
+            elif kind == "session.end":
+                row["end_slot"] = int(ev["slot"])
+                row["outcome"] = "completed"
+            elif kind == "session.reject":
+                row["start_slot"] = int(ev["slot"])
+                row["outcome"] = "rejected"
+        return sorted(
+            by_user.values(),
+            key=lambda r: (r["start_slot"] if r["start_slot"] is not None else -1,
+                           r["user"]),
+        )
 
     def summary(self) -> dict[str, Any]:
         """Flat per-run aggregates (for tables and the HTML report)."""
@@ -279,6 +321,7 @@ class _RunBuilder:
         self.slot_rows: list[dict[str, Any]] = []
         self.user_rows: list[dict[str, Any]] = []
         self.queue_rows: list[tuple[int, list[float]]] = []
+        self.session_rows: list[dict[str, Any]] = []
         if start_event is not None:
             tl = self.timeline
             tl.scheduler = start_event.get("scheduler")
@@ -320,8 +363,18 @@ class _RunBuilder:
                 )
             tl.n_users = tl.grids[next(iter(tl.grids))].shape[1]
         if self.queue_rows:
-            tl.ema_queue_slots = np.array([s for s, _ in self.queue_rows], dtype=np.int64)
-            tl.ema_queues = np.stack([_row(pc, float) for _, pc in self.queue_rows])
+            # Dynamic runs snapshot EMA queues in row space, whose
+            # capacity grows mid-run — ragged rows cannot stack (and
+            # would not align with session-keyed grids anyway).
+            widths = {len(pc) for _, pc in self.queue_rows}
+            if len(widths) == 1:
+                tl.ema_queue_slots = np.array(
+                    [s for s, _ in self.queue_rows], dtype=np.int64
+                )
+                tl.ema_queues = np.stack(
+                    [_row(pc, float) for _, pc in self.queue_rows]
+                )
+        tl.sessions = self.session_rows
         return tl
 
 
@@ -357,6 +410,9 @@ def timelines_from_events(events: Iterable[dict[str, Any]]) -> list[RunTimeline]
         elif kind == "ema.queues":
             if builder is not None:
                 builder.queue_rows.append((int(event["slot"]), event["pc_s"]))
+        elif kind in ("session.start", "session.reject", "session.end"):
+            if builder is not None:
+                builder.session_rows.append(event)
         elif kind == "run.end":
             if builder is not None:
                 builder.timeline.end_summary = {
@@ -616,6 +672,11 @@ class EMAQueueChecker(InvariantChecker):
         self.tol = tol
 
     def skip_reason(self, tl: RunTimeline) -> str | None:
+        if tl.sessions:
+            return (
+                "dynamic run: EMA queues are snapshotted in row space and "
+                "do not align with the session-keyed grids"
+            )
         if tl.ema_queues is None:
             return "run has no ema.queues snapshots"
         if not {"delivered_kb", "rate_kbps", "active"} <= tl.grids.keys():
@@ -681,11 +742,131 @@ class EMAQueueChecker(InvariantChecker):
         return out
 
 
+class SessionConservationChecker(InvariantChecker):
+    """Dynamic-run session conservation.
+
+    Three families of checks, all driven by the ``session.start`` /
+    ``session.reject`` / ``session.end`` lifecycle events:
+
+    * event sanity — no duplicate lifecycle events per session, no
+      session both admitted and rejected, every end paired with (and
+      not preceding) its start;
+    * conservation — the ``run.end`` event's ``sessions`` counters
+      agree with the event counts, and ``admitted == completed +
+      still-active`` at the end of the run;
+    * residency — no data unit is allocated (and no media delivered)
+      to a session outside its ``[start, end]`` residency window, nor
+      ever to a session that was rejected or never arrived.
+    """
+
+    name = "session.conservation"
+
+    def skip_reason(self, tl: RunTimeline) -> str | None:
+        if not tl.sessions:
+            return "run has no session lifecycle events"
+        return None
+
+    def check(self, tl: RunTimeline) -> list[Violation]:
+        out: list[Violation] = []
+        started: dict[int, int] = {}
+        rejected: dict[int, int] = {}
+        ended: dict[int, int] = {}
+        buckets = {
+            "session.start": started,
+            "session.reject": rejected,
+            "session.end": ended,
+        }
+        for ev in tl.sessions:
+            bucket = buckets.get(ev.get("kind"))
+            if bucket is None:
+                continue
+            user = int(ev.get("user", -1))
+            slot = int(ev.get("slot", -1))
+            if user in bucket:
+                out.append(
+                    self._violation(
+                        slot, user, None, None, f"duplicate {ev['kind']} event"
+                    )
+                )
+            bucket[user] = slot
+        for user in sorted(started.keys() & rejected.keys()):
+            out.append(
+                self._violation(
+                    rejected[user], user, None, None,
+                    "session both admitted and rejected",
+                )
+            )
+        for user, slot in sorted(ended.items()):
+            if user not in started:
+                out.append(
+                    self._violation(
+                        slot, user, None, None, "session ended without a start"
+                    )
+                )
+            elif slot < started[user]:
+                out.append(
+                    self._violation(
+                        slot, user, float(started[user]), float(slot),
+                        "session ended before it started",
+                    )
+                )
+
+        counts = tl.end_summary.get("sessions") or {}
+        for key, actual in (
+            ("admitted", len(started)),
+            ("rejected", len(rejected)),
+            ("completed", len(ended)),
+        ):
+            expected = counts.get(key)
+            if expected is not None and int(expected) != actual:
+                out.append(
+                    self._violation(
+                        None, None, float(expected), float(actual),
+                        f"run.end sessions.{key} disagrees with the "
+                        f"session event count",
+                    )
+                )
+        admitted = counts.get("admitted")
+        completed = counts.get("completed")
+        active = counts.get("active")
+        if None not in (admitted, completed, active):
+            if int(admitted) != int(completed) + int(active):
+                out.append(
+                    self._violation(
+                        None, None, float(admitted),
+                        float(int(completed) + int(active)),
+                        "admitted != completed + still-active at run.end",
+                    )
+                )
+
+        phi = tl.grids.get("phi")
+        if phi is not None:
+            n_slots, n_users = phi.shape
+            resident = np.zeros((n_slots, n_users), dtype=bool)
+            for user, slot in started.items():
+                if 0 <= user < n_users and slot < n_slots:
+                    end = ended.get(user, n_slots - 1)
+                    resident[max(slot, 0) : end + 1, user] = True
+            activity = phi != 0
+            delivered = tl.grids.get("delivered_kb")
+            if delivered is not None and delivered.shape == phi.shape:
+                activity = activity | (delivered != 0.0)
+            for slot, user in _coords(activity & ~resident):
+                out.append(
+                    self._violation(
+                        slot, user, 0.0, float(phi[slot, user]),
+                        "data allocated outside the session's residency window",
+                    )
+                )
+        return out
+
+
 DEFAULT_CHECKERS: tuple[InvariantChecker, ...] = (
     NonNegativeBufferChecker(),
     CapacityChecker(),
     RTMAEnergyBudgetChecker(),
     EMAQueueChecker(),
+    SessionConservationChecker(),
 )
 
 
@@ -758,6 +939,10 @@ def main(argv: list[str] | None = None) -> int:
         "--max-violations", type=int, default=20,
         help="cap on violations printed per run (default 20)",
     )
+    parser.add_argument(
+        "--max-sessions", type=int, default=24,
+        help="cap on per-session lifecycle rows printed per run (default 24)",
+    )
     args = parser.parse_args(argv)
 
     reports = check_trace(args.target)
@@ -789,6 +974,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"(worst: user {worst.user}, slots {worst.start_slot}-"
                 f"{worst.end_slot}, {worst.total_s:.2f}s)"
             )
+        counts = tl.end_summary.get("sessions")
+        if counts:
+            print(
+                "  sessions: offered {offered}, admitted {admitted}, "
+                "rejected {rejected}, completed {completed}, "
+                "active at end {active}".format(**counts)
+            )
+        rows = tl.session_rows()
+        for row in rows[: args.max_sessions]:
+            start = "-" if row["start_slot"] is None else row["start_slot"]
+            end = "-" if row["end_slot"] is None else row["end_slot"]
+            print(
+                f"    session {row['user']}: slots {start}..{end} "
+                f"[{row['outcome'] or 'unknown'}]"
+            )
+        if len(rows) > args.max_sessions:
+            print(f"    ... and {len(rows) - args.max_sessions} more sessions")
         print(report.render(args.max_violations))
         print()
         any_violation = any_violation or not report.ok

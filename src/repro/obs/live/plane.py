@@ -22,6 +22,7 @@ Channels fed by the engine (per-slot, cell-aggregated):
 ``slot_energy_mj``  transmission + tail energy this slot (Eqs. 3-5)
 ``delivered_kb``    media shipped this slot
 ``buffer_s``        mean client buffer level
+``active_users``    resident population, sampled at each watch tick
 ``slots_per_s``     engine throughput (wall-clock EWMA; scalar channel)
 ``worker_stall_s``  max heartbeat silence across pool workers (parent)
 ==================  ====================================================
@@ -49,7 +50,17 @@ __all__ = ["LiveTelemetry"]
 log = logging.getLogger("repro.obs.live")
 
 #: Channels reset at every run boundary (per-run streaming stats).
-_RUN_CHANNELS = ("rebuffer_s", "slot_energy_mj", "delivered_kb", "buffer_s")
+#: ``active_users`` is fed once per watch tick (the resident session
+#: count at the block's last slot) rather than per slot — it tracks the
+#: dynamic engine's churning population for SLO rules like
+#: ``max(active_users) < 32``.
+_RUN_CHANNELS = (
+    "rebuffer_s",
+    "slot_energy_mj",
+    "delivered_kb",
+    "buffer_s",
+    "active_users",
+)
 #: Channels carrying P² quantile sketches by default — the two the
 #: paper's constraints bound (rebuffering Omega, per-slot energy Phi).
 #: Sketches are the only per-sample Python cost in the batched tick
@@ -245,6 +256,7 @@ class LiveTelemetry:
 
     def _tick(self, slot: int, n_slots: int, active_users: int) -> None:
         """Watchdog + heartbeat + export, once per observation block."""
+        self.stats["active_users"].add(float(active_users))
         now = time.monotonic()
         dt = now - self._last_tick
         self._last_tick = now

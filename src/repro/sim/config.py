@@ -58,6 +58,32 @@ class SimConfig:
     seed:
         Workload RNG seed; identical seeds give identical workloads
         across schedulers (the comparisons rely on this).
+    arrival_process:
+        How session start slots are drawn: ``"all_at_zero"`` (default —
+        the paper's fixed population, bit-identical to the historical
+        behaviour and consuming no RNG), ``"poisson"`` (exponential
+        inter-arrival gaps at ``arrival_rate_per_slot``; sessions may
+        land beyond the horizon and then never arrive), or ``"trace"``
+        (explicit per-user slots from ``arrival_trace``).
+    arrival_rate_per_slot:
+        Mean arrivals per slot for the Poisson process (required by —
+        and only valid with — ``arrival_process="poisson"``).
+    arrival_trace:
+        Tuple of ``n_users`` non-negative arrival slots (required by —
+        and only valid with — ``arrival_process="trace"``).
+    admission:
+        Admission policy consulted when a session arrives:
+        ``"accept-all"`` (default), ``"capacity-threshold"``
+        (cap concurrent sessions at ``admission_max_active``) or
+        ``"budget-aware"`` (admit while every active session can still
+        be guaranteed ``admission_min_units_per_user`` data units of
+        the nominal per-slot budget).  Anything except the default
+        routes the run through the dynamic session-lifecycle engine
+        (see :attr:`has_churn`).
+    admission_max_active:
+        Concurrent-session cap for ``admission="capacity-threshold"``.
+    admission_min_units_per_user:
+        Per-user unit guarantee for ``admission="budget-aware"``.
     kernel_backend:
         Kernel dispatch backend for the run: ``"numpy"``, ``"numba"``,
         ``"python"`` or ``"auto"`` (numba when importable).  ``None``
@@ -89,6 +115,12 @@ class SimConfig:
     background: BackgroundTraffic | None = None
     fetch_ahead_kb: float = float("inf")
     seed: int = 0
+    arrival_process: str = "all_at_zero"
+    arrival_rate_per_slot: float | None = None
+    arrival_trace: tuple[int, ...] | None = None
+    admission: str = "accept-all"
+    admission_max_active: int | None = None
+    admission_min_units_per_user: int | None = None
     kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -108,6 +140,7 @@ class SimConfig:
             raise ConfigurationError("mean_video_size_kb must be positive")
         if self.buffer_capacity_s is not None and self.buffer_capacity_s <= 0:
             raise ConfigurationError("buffer_capacity_s must be positive")
+        self._validate_lifecycle()
         if self.kernel_backend is not None:
             from repro.kernels.backend import BACKEND_CHOICES
 
@@ -116,6 +149,80 @@ class SimConfig:
                     f"kernel_backend must be one of {BACKEND_CHOICES}, "
                     f"got {self.kernel_backend!r}"
                 )
+
+    def _validate_lifecycle(self) -> None:
+        from repro.sim.arrivals import ARRIVAL_PROCESSES
+
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"arrival_process must be one of {ARRIVAL_PROCESSES}, "
+                f"got {self.arrival_process!r}"
+            )
+        if self.arrival_process == "poisson":
+            if self.arrival_rate_per_slot is None or self.arrival_rate_per_slot <= 0:
+                raise ConfigurationError(
+                    "arrival_process='poisson' requires a positive arrival_rate_per_slot"
+                )
+        elif self.arrival_rate_per_slot is not None:
+            raise ConfigurationError(
+                "arrival_rate_per_slot is only valid with arrival_process='poisson'"
+            )
+        if self.arrival_process == "trace":
+            trace = self.arrival_trace
+            if trace is None or len(trace) != self.n_users:
+                raise ConfigurationError(
+                    "arrival_process='trace' requires arrival_trace with one "
+                    "slot per user"
+                )
+            if any(int(s) < 0 for s in trace):
+                raise ConfigurationError("arrival_trace slots must be >= 0")
+        elif self.arrival_trace is not None:
+            raise ConfigurationError(
+                "arrival_trace is only valid with arrival_process='trace'"
+            )
+
+        from repro.core.admission import ADMISSION_POLICIES
+
+        if self.admission not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.admission == "capacity-threshold":
+            if self.admission_max_active is None or self.admission_max_active <= 0:
+                raise ConfigurationError(
+                    "admission='capacity-threshold' requires a positive "
+                    "admission_max_active"
+                )
+        elif self.admission_max_active is not None:
+            raise ConfigurationError(
+                "admission_max_active is only valid with admission='capacity-threshold'"
+            )
+        if self.admission == "budget-aware":
+            if (
+                self.admission_min_units_per_user is None
+                or self.admission_min_units_per_user <= 0
+            ):
+                raise ConfigurationError(
+                    "admission='budget-aware' requires a positive "
+                    "admission_min_units_per_user"
+                )
+        elif self.admission_min_units_per_user is not None:
+            raise ConfigurationError(
+                "admission_min_units_per_user is only valid with "
+                "admission='budget-aware'"
+            )
+
+    @property
+    def has_churn(self) -> bool:
+        """Whether the run needs the dynamic session-lifecycle engine.
+
+        The default ``all_at_zero`` + ``accept-all`` combination takes
+        the historical fixed-population path and stays bit-identical to
+        every prior release; anything else routes through the growable
+        fleet with admission control and session retirement.
+        """
+        return self.arrival_process != "all_at_zero" or self.admission != "accept-all"
 
     @property
     def radio(self) -> RadioProfile:

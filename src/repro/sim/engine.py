@@ -38,6 +38,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.core.admission import AdmissionContext, make_admission_policy
 from repro.core.allocation import check_constraints
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernels import SlotArena, backend_info, use_backend
@@ -51,6 +52,7 @@ from repro.obs.spans import SLOT_PREFIX, activate_spans
 from repro.radio.rrc import RRCFleet, fleet_occupancy_from_tx
 from repro.sim.config import SimConfig
 from repro.sim.results import SimulationResult
+from repro.sim.sessions import INITIAL_CAPACITY, SessionManager
 from repro.sim.workload import Workload, generate_workload
 
 __all__ = ["Simulation"]
@@ -129,6 +131,11 @@ class Simulation:
                 f"path must be 'fleet' or 'object', got {path!r}"
             )
         self.path = path
+        if config.has_churn and path != "fleet":
+            raise ConfigurationError(
+                "dynamic session lifecycle (arrival processes / admission "
+                "control) requires the fleet path"
+            )
         self.config = config
         self.scheduler = scheduler
         self.instrumentation = instrumentation
@@ -160,13 +167,17 @@ class Simulation:
             else current_instrumentation()
         )
         spans = instr.spans if instr is not None else None
+        # Zero-churn configs take the historical fixed-population body
+        # (bit-identical to every prior release); arrival processes and
+        # admission policies route through the dynamic lifecycle body.
+        body = self._run_body_dynamic if self.config.has_churn else self._run_body
         if spans is None:
-            return self._run_body(instr)
+            return body(instr)
         # Activate the recorder for the *whole* body — scheduler.reset()
         # and the lazy fleet/RRC kernel resolutions all happen inside,
         # so every registry-resolved kernel self-reports its span.
         with activate_spans(spans), spans.span("run"):
-            return self._run_body(instr)
+            return body(instr)
 
     def _run_body(self, instr: Instrumentation | None) -> SimulationResult:
         cfg = self.config
@@ -531,4 +542,408 @@ class Simulation:
             completion_slot=completion,
             arrival_slot=arrivals,
             phase_timings=instr.profiler.summary() if instrumented else None,
+        )
+
+    def _run_body_dynamic(self, instr: Instrumentation | None) -> SimulationResult:
+        """Slot loop with session arrivals, admission, and retirement.
+
+        Two index spaces coexist: result grids, trace payloads, and the
+        signal trace stay keyed by *session* (the workload's ``n_users``
+        offered sessions), while the fleet/RRC/arena/receiver/scheduler
+        operate on a growable *row* space managed by
+        :class:`~repro.sim.sessions.SessionManager`.  Each slot scatters
+        the row-space vectors into the session-keyed grids through the
+        manager's ``row -> session`` map.
+        """
+        cfg = self.config
+        radio = cfg.radio
+        n_sessions, gamma = cfg.n_users, cfg.n_slots
+
+        instrumented = instr is not None
+        live = instr.live if instrumented else None
+        live_on = live is not None
+        spans = instr.spans if instrumented else None
+        spans_on = spans is not None
+        if instrumented:
+            tracer = instr.tracer
+            trace_on = tracer.enabled
+            prof = instr.profiler
+            _pc = perf_counter
+            rec_playback = prof.samples("playback").append
+            prof.samples("observe")
+            prof.samples("schedule")
+            prof.samples("transmit")
+            rec_rrc = prof.samples("rrc").append
+            rec_feedback = prof.samples("feedback").append
+            budgets = np.zeros(gamma, dtype=np.int64)
+        if spans_on:
+            rec_block = spans.adder(spans.path_node(SLOT_PREFIX))
+            _span_phase_ids = {
+                ph: spans.slot_phase_id(ph)
+                for ph in (
+                    "playback", "observe", "schedule", "transmit",
+                    "rrc", "feedback",
+                )
+            }
+            _span_phase_base = {
+                ph: len(prof.samples(ph)) for ph in _span_phase_ids
+            }
+
+            def _fold_phase_spans() -> None:
+                for ph, node in _span_phase_ids.items():
+                    tail = prof.samples(ph)[_span_phase_base[ph]:]
+                    if tail:
+                        spans.add_bulk(node, len(tail), float(sum(sorted(tail))))
+
+        self.scheduler.reset()
+        self.scheduler.bind_instrumentation(instr)
+
+        capacity = min(n_sessions, INITIAL_CAPACITY)
+        fleet = ClientFleet.with_capacity(capacity, cfg.tau_s, cfg.buffer_capacity_s)
+        arena = SlotArena(capacity)
+        rrc = RRCFleet(capacity, radio.rrc)
+        bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
+        slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
+        gateway = Gateway(
+            self.scheduler,
+            bs,
+            capacity,
+            slicer=slicer,
+            fetch_ahead_kb=cfg.fetch_ahead_kb,
+        )
+        # Row-capacity alignment: stateful schedulers built for
+        # cfg.n_users shrink once here, before any state accrues.
+        self.scheduler.grow_users(capacity)
+        mgr = SessionManager(
+            self.workload.flows, fleet, rrc, arena, gateway.receiver, self.scheduler
+        )
+        policy = make_admission_policy(cfg)
+        policy.reset()
+        nominal_budget = cfg.unit_budget_per_slot
+
+        alloc = np.zeros((gamma, n_sessions), dtype=np.int64)
+        delivered = np.zeros((gamma, n_sessions), dtype=float)
+        rebuf = np.zeros((gamma, n_sessions), dtype=float)
+        e_trans = np.zeros((gamma, n_sessions), dtype=float)
+        e_tail = np.zeros((gamma, n_sessions), dtype=float)
+        buffer_s = np.zeros((gamma, n_sessions), dtype=float)
+        need_kb = np.zeros((gamma, n_sessions), dtype=float)
+        active_rec = np.zeros((gamma, n_sessions), dtype=bool)
+        completion = np.full(n_sessions, -1, dtype=np.int64)
+        departure = np.full(n_sessions, -1, dtype=np.int64)
+
+        flows = self.workload.flows
+        signal = self.workload.signal_dbm
+        arrivals = np.array([f.arrival_slot for f in flows], dtype=np.int64)
+
+        scheduler_name = getattr(
+            self.scheduler, "name", type(self.scheduler).__name__
+        )
+        if instrumented and trace_on:
+            tracer.emit(
+                "run.start",
+                scheduler=scheduler_name,
+                n_users=n_sessions,
+                n_slots=gamma,
+                tau_s=cfg.tau_s,
+                delta_kb=cfg.delta_kb,
+                seed=cfg.seed,
+                kernel_backend=backend_info()["resolved"],
+                arrival_process=cfg.arrival_process,
+                admission=cfg.admission,
+                rrc={
+                    "pd_mw": radio.rrc.pd_mw,
+                    "pf_mw": radio.rrc.pf_mw,
+                    "t1_s": radio.rrc.t1_s,
+                    "t2_s": radio.rrc.t2_s,
+                },
+                params=_scheduler_trace_params(self.scheduler),
+            )
+        if live_on:
+            live.begin_run(scheduler_name, n_slots=gamma, n_users=n_sessions)
+            live_every = live.watch_every
+            live_start = 0
+        if spans_on:
+            span_block_start = 0
+            _block_t0 = perf_counter()
+
+        slot = -1
+        try:
+            for slot in range(gamma):
+                # 0. Session lifecycle: roll the join/depart masks, then
+                #    admit (or reject) every session whose arrival slot
+                #    has come, in deterministic (arrival, user) order.
+                mgr.begin_slot()
+                for sess in mgr.due_sessions(slot):
+                    ctx = AdmissionContext(
+                        slot=slot,
+                        active_sessions=mgr.active_count,
+                        capacity_rows=mgr.capacity,
+                        unit_budget=nominal_budget,
+                        flow=flows[sess],
+                    )
+                    if policy.admit(ctx):
+                        row = mgr.admit(sess)
+                        if instrumented and trace_on:
+                            tracer.emit(
+                                "session.start",
+                                slot=slot,
+                                user=int(sess),
+                                row=int(row),
+                                arrival_slot=int(arrivals[sess]),
+                            )
+                    else:
+                        mgr.reject(sess)
+                        if instrumented and trace_on:
+                            tracer.emit(
+                                "session.reject",
+                                slot=slot,
+                                user=int(sess),
+                                policy=policy.name,
+                            )
+                occ = mgr.occupied_rows()
+                sess_of = mgr.row_session[occ]
+
+                # 1. Playback (row space) + completion detection.
+                if instrumented:
+                    _t0 = _pc()
+                fleet.begin_slot(slot, out=arena.rebuf_s)
+                newly_done = fleet.playback_complete_into(
+                    arena.b1_tmp, arena.f8_tmp, arena.tx_mask
+                )
+                np.greater_equal(mgr.row_session, 0, out=arena.tx_mask)
+                np.logical_and(newly_done, arena.tx_mask, out=newly_done)
+                done_rows = np.flatnonzero(newly_done)
+                for row in done_rows:
+                    completion[mgr.row_session[row]] = slot
+                if instrumented:
+                    rec_playback(_pc() - _t0)
+
+                # 2-4. Observe, schedule, transmit in row space.  The
+                # session-keyed signal is gathered into the arena's
+                # row-space buffer (vacant rows see a floor value; they
+                # are inactive, so schedulers allocate them nothing).
+                idle_cost = rrc.expected_idle_cost_mj(
+                    cfg.tau_s, out=arena.idle_tail_cost_mj
+                )
+                arena.sig_dbm.fill(-110.0)
+                if occ.size:
+                    arena.sig_dbm[occ] = signal[slot][sess_of]
+                obs, phi, sent_kb = gateway.step(
+                    slot,
+                    arena.sig_dbm,
+                    mgr.row_flows,
+                    None,
+                    radio.throughput,
+                    radio.power,
+                    idle_cost,
+                    instrumentation=instr,
+                    fleet=fleet,
+                    arena=arena,
+                    joined_mask=mgr.joined_mask,
+                    departed_mask=mgr.departed_mask,
+                )
+                check_constraints(phi, obs)
+                np.multiply(phi, cfg.delta_kb, out=arena.f8_tmp)
+                np.add(arena.f8_tmp, 1e-9, out=arena.f8_tmp)
+                np.greater(sent_kb, arena.f8_tmp, out=arena.b1_tmp)
+                if arena.b1_tmp.any():
+                    raise SimulationError(f"slot {slot}: delivered more than allocated")
+
+                # 5. Radio energy accounting (row space).
+                if instrumented:
+                    _t0 = _pc()
+                tx_mask = np.greater(sent_kb, 0.0, out=arena.tx_mask)
+                np.multiply(obs.p_mj_per_kb, sent_kb, out=arena.trans_mj)
+                rrc.step(tx_mask, cfg.tau_s, out=arena.tail_mj)
+                if instrumented:
+                    rec_rrc(_pc() - _t0)
+
+                # 6. Scheduler feedback.
+                if instrumented:
+                    _t0 = _pc()
+                self.scheduler.notify(obs, phi, sent_kb)
+                if instrumented:
+                    rec_feedback(_pc() - _t0)
+
+                # Scatter row-space results into the session-keyed grids.
+                if occ.size:
+                    alloc[slot, sess_of] = phi[occ]
+                    delivered[slot, sess_of] = sent_kb[occ]
+                    rebuf[slot, sess_of] = arena.rebuf_s[occ]
+                    e_trans[slot, sess_of] = arena.trans_mj[occ]
+                    e_tail[slot, sess_of] = arena.tail_mj[occ]
+                    buffer_s[slot, sess_of] = obs.buffer_s[occ]
+                    need_kb[slot, sess_of] = obs.rate_kbps[occ] * cfg.tau_s
+                    active_rec[slot, sess_of] = obs.active[occ]
+
+                if instrumented:
+                    budgets[slot] = obs.unit_budget
+                if instrumented and trace_on:
+                    link_sess = np.zeros(n_sessions, dtype=np.int64)
+                    rate_sess = np.zeros(n_sessions, dtype=float)
+                    if occ.size:
+                        link_sess[sess_of] = obs.link_units[occ]
+                        rate_sess[sess_of] = obs.rate_kbps[occ]
+                    tracer.emit(
+                        "slot",
+                        slot=slot,
+                        active_users=int(obs.active.sum()),
+                        resident_sessions=int(mgr.active_count),
+                        tx_users=int(tx_mask.sum()),
+                        allocated_units=int(phi.sum()),
+                        unit_budget=int(obs.unit_budget),
+                        delivered_kb=float(sent_kb.sum()),
+                        rebuffering_s=float(rebuf[slot].sum()),
+                        energy_trans_mj=float(e_trans[slot].sum()),
+                        energy_tail_mj=float(e_tail[slot].sum()),
+                        mean_buffer_s=float(obs.buffer_s.mean()),
+                        users={
+                            "phi": alloc[slot],
+                            "delivered_kb": delivered[slot],
+                            "rebuffering_s": rebuf[slot],
+                            "buffer_s": buffer_s[slot],
+                            "energy_trans_mj": e_trans[slot],
+                            "energy_tail_mj": e_tail[slot],
+                            "link_units": link_sess,
+                            "sig_dbm": signal[slot],
+                            "rate_kbps": rate_sess,
+                            "active": active_rec[slot],
+                        },
+                    )
+
+                # Retirement happens at the *end* of the completion slot
+                # — the slot's tail accrual and accounting include the
+                # session — and frees the row for recycling.
+                for row in done_rows:
+                    sess = int(mgr.row_session[row])
+                    departure[sess] = slot
+                    mgr.retire(sess)
+                    if instrumented and trace_on:
+                        tracer.emit(
+                            "session.end",
+                            slot=slot,
+                            user=sess,
+                            row=int(row),
+                        )
+
+                if live_on and (slot - live_start + 1 >= live_every or slot == gamma - 1):
+                    end = slot + 1
+                    live.observe_block(
+                        slot,
+                        rebuf[live_start:end].sum(axis=1),
+                        e_trans[live_start:end].sum(axis=1)
+                        + e_tail[live_start:end].sum(axis=1),
+                        delivered[live_start:end].sum(axis=1),
+                        buffer_s[live_start:end].mean(axis=1),
+                        active_users=int(mgr.active_count),
+                    )
+                    live_start = end
+                if spans_on and (
+                    slot - span_block_start + 1 >= SPAN_BLOCK_SLOTS
+                    or slot == gamma - 1
+                ):
+                    rec_block(_pc() - _block_t0)
+                    span_block_start = slot + 1
+                    _block_t0 = _pc()
+        except BaseException as exc:
+            if instrumented:
+                log.warning(
+                    "run aborted at slot %d: %s: %s",
+                    slot,
+                    type(exc).__name__,
+                    exc,
+                )
+                if spans_on:
+                    _fold_phase_spans()
+                if trace_on:
+                    tracer.emit(
+                        "run.abort",
+                        scheduler=scheduler_name,
+                        slot=slot,
+                        error=type(exc).__name__,
+                        message=str(exc),
+                    )
+                if live_on:
+                    live.abort_run(f"{type(exc).__name__}: {exc}")
+                instr.close()
+            raise
+
+        if spans_on:
+            _fold_phase_spans()
+
+        if not np.all(np.isfinite(e_trans)):
+            raise SimulationError("non-finite transmission energy recorded")
+
+        n_admitted = int(mgr.admitted.sum())
+        n_rejected = int(mgr.rejected.sum())
+        n_completed = int(mgr.completed.sum())
+        session_counts = {
+            "offered": int(n_sessions),
+            "arrived": n_admitted + n_rejected,
+            "admitted": n_admitted,
+            "rejected": n_rejected,
+            "completed": n_completed,
+            "active": int(mgr.active_count),
+        }
+        if instrumented and trace_on:
+            tracer.emit(
+                "run.end",
+                scheduler=scheduler_name,
+                n_slots=gamma,
+                delivered_total_kb=float(delivered.sum()),
+                energy_total_mj=float(e_trans.sum() + e_tail.sum()),
+                rebuffering_total_s=float(rebuf.sum()),
+                completed_users=int((completion >= 0).sum()),
+                sessions=session_counts,
+            )
+        if live_on:
+            live.end_run()
+
+        if instrumented:
+            metrics = instr.metrics
+            kinfo = backend_info()
+            metrics.gauge("kernels.backend").set(kinfo["resolved"])
+            metrics.gauge("kernels.requested").set(kinfo["requested"])
+            if kinfo["numba_version"] is not None:
+                metrics.gauge("kernels.numba_version").set(kinfo["numba_version"])
+            metrics.counter("engine.slots").inc(gamma)
+            metrics.counter("energy.trans_mj").inc(float(e_trans.sum()))
+            metrics.counter("rrc.tail_mj").inc(float(e_tail.sum()))
+            occupancy = fleet_occupancy_from_tx(delivered > 0.0, cfg.tau_s, radio.rrc)
+            metrics.counter("rrc.occupancy.dch").inc(occupancy["dch"])
+            metrics.counter("rrc.occupancy.fach").inc(occupancy["fach"])
+            metrics.counter("rrc.occupancy.idle").inc(occupancy["idle"])
+            metrics.counter("scheduler.invocations").inc(gamma)
+            metrics.counter("sessions.admitted").inc(n_admitted)
+            metrics.counter("sessions.rejected").inc(n_rejected)
+            metrics.counter("sessions.completed").inc(n_completed)
+            used_units = alloc.sum(axis=1)
+            near_miss = int(
+                np.count_nonzero((budgets > 0) & (used_units > 0.9 * budgets))
+            )
+            metrics.counter("allocation.near_miss").inc(near_miss)
+            truncated = float(
+                np.maximum(alloc * cfg.delta_kb - delivered, 0.0).sum()
+            )
+            metrics.counter("allocation.truncated_kb").inc(truncated)
+        return SimulationResult(
+            scheduler_name=scheduler_name,
+            config=cfg,
+            allocation_units=alloc,
+            delivered_kb=delivered,
+            rebuffering_s=rebuf,
+            energy_trans_mj=e_trans,
+            energy_tail_mj=e_tail,
+            buffer_s=buffer_s,
+            need_kb=need_kb,
+            active=active_rec,
+            completion_slot=completion,
+            arrival_slot=arrivals,
+            phase_timings=instr.profiler.summary() if instrumented else None,
+            admitted=mgr.admitted.copy(),
+            rejected=mgr.rejected.copy(),
+            departure_slot=departure,
+            offered_video_kb=self.workload.offered_video_kb(),
+            admitted_video_kb=self.workload.admitted_video_kb(mgr.admitted),
         )

@@ -99,6 +99,19 @@ class SimulationResult:
     #: (``None`` when the run was uninstrumented).  Keys are phase
     #: names; values are ``count/total_s/mean_s/p50_s/p95_s/max_s``.
     phase_timings: dict | None = field(default=None, compare=False)
+    #: Per-session admission outcome (dynamic runs only; ``None`` on
+    #: the fixed path, where every offered session is implicitly
+    #: admitted at slot 0).
+    admitted: np.ndarray | None = None
+    #: Per-session rejection flag (dynamic runs only).
+    rejected: np.ndarray | None = None
+    #: Slot at which the session's row was retired (-1 if the session
+    #: never completed; dynamic runs only).
+    departure_slot: np.ndarray | None = None
+    #: Total media offered by the workload, KB (dynamic runs only).
+    offered_video_kb: float | None = None
+    #: Media belonging to *admitted* sessions, KB (dynamic runs only).
+    admitted_video_kb: float | None = None
 
     def __post_init__(self) -> None:
         shape = self.allocation_units.shape
@@ -239,7 +252,13 @@ class SimulationResult:
         n_slots, n_users = self.allocation_units.shape
         slots = np.arange(n_slots)[:, None]
         end = np.where(self.completion_slot >= 0, self.completion_slot, n_slots - 1)
-        return (slots >= self.arrival_slot[None, :]) & (slots <= end[None, :])
+        mask = (slots >= self.arrival_slot[None, :]) & (slots <= end[None, :])
+        if self.admitted is not None:
+            # Rejected (or never-arrived) sessions have no residency:
+            # counting their all-zero horizon windows would dilute the
+            # per-session averages with users that were never served.
+            mask &= self.admitted[None, :]
+        return mask
 
     @property
     def pe_session_mj(self) -> float:
@@ -266,6 +285,19 @@ class SimulationResult:
         out["n_slots"] = int(self.allocation_units.shape[0])
         out["completed_users"] = int((self.completion_slot >= 0).sum())
         out["delivered_total_kb"] = float(self.delivered_kb.sum())
+        if self.admitted is not None:
+            # Dynamic runs split the load the workload *offered* from
+            # the load the admission policy actually let in.
+            out["sessions_offered"] = int(self.admitted.size)
+            out["sessions_admitted"] = int(self.admitted.sum())
+            out["sessions_rejected"] = (
+                int(self.rejected.sum()) if self.rejected is not None else 0
+            )
+            out["sessions_completed"] = int((self.completion_slot >= 0).sum())
+            if self.offered_video_kb is not None:
+                out["offered_video_kb"] = float(self.offered_video_kb)
+            if self.admitted_video_kb is not None:
+                out["admitted_video_kb"] = float(self.admitted_video_kb)
         if self.phase_timings is not None:
             out["phase_timings"] = self.phase_timings
         return out
@@ -274,6 +306,15 @@ class SimulationResult:
         fairness = self.fairness_per_slot()
         finite = fairness[~np.isnan(fairness)]
         completed = self.completion_slot >= 0
+        if self.admitted is not None:
+            # Under churn, completion is judged over admitted sessions
+            # (a rejected session cannot complete by construction).
+            n_admitted = int(self.admitted.sum())
+            completion_rate = (
+                float(completed.sum() / n_admitted) if n_admitted else float("nan")
+            )
+        else:
+            completion_rate = float(completed.mean())
         return SummaryStats(
             scheduler=self.scheduler_name,
             pe_mj=self.pe_mj,
@@ -282,7 +323,7 @@ class SimulationResult:
             pe_trans_mj=average_energy_mj(self.energy_trans_mj),
             mean_fairness=float(finite.mean()) if finite.size else float("nan"),
             frac_slots_fair=float((finite > 0.7).mean()) if finite.size else float("nan"),
-            completion_rate=float(completed.mean()),
+            completion_rate=completion_rate,
             total_rebuffering_per_user_s=float(
                 self.per_user_total_rebuffering_s().mean()
             ),

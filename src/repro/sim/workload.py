@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.media.video import ConstantBitrateProfile, PiecewiseBitrateProfile, VideoSession
 from repro.net.flows import VideoFlow
+from repro.sim.arrivals import generate_arrival_slots
 from repro.sim.config import SimConfig
 
 __all__ = ["Workload", "generate_workload"]
@@ -37,8 +38,34 @@ class Workload:
         return self.signal_dbm.shape[0]
 
     def total_video_kb(self) -> float:
-        """Aggregate media bytes across all sessions."""
+        """Aggregate *offered* media bytes across all sessions.
+
+        Every generated session counts, whether or not it is later
+        admitted (or even arrives within the horizon).  Use
+        :meth:`admitted_video_kb` for the load the gateway accepted —
+        summaries report both so rejected sessions never silently
+        deflate per-user averages.
+        """
         return float(sum(f.video.size_kb for f in self.flows))
+
+    def offered_video_kb(self) -> float:
+        """Alias of :meth:`total_video_kb` (explicit offered-load name)."""
+        return self.total_video_kb()
+
+    def admitted_video_kb(self, admitted: np.ndarray) -> float:
+        """Media bytes of the sessions flagged in ``admitted`` (bool mask)."""
+        admitted = np.asarray(admitted, dtype=bool)
+        if admitted.shape != (len(self.flows),):
+            raise ConfigurationError(
+                "admitted mask must have one entry per session"
+            )
+        return float(
+            sum(f.video.size_kb for f, ok in zip(self.flows, admitted) if ok)
+        )
+
+    def arrival_slots(self) -> np.ndarray:
+        """Per-session arrival slots (``int64``)."""
+        return np.array([f.arrival_slot for f in self.flows], dtype=np.int64)
 
     def mean_rate_kbps(self) -> float:
         """Mean of per-user mean required rates."""
@@ -77,12 +104,17 @@ def generate_workload(cfg: SimConfig) -> Workload:
     """
     rng = np.random.default_rng(cfg.seed)
     sizes = _draw_sizes(cfg, rng)
-    flows = []
-    for uid in range(cfg.n_users):
-        profile = _make_profile(cfg, rng)
-        video = VideoSession(float(sizes[uid]), profile)
-        flows.append(VideoFlow(user_id=uid, video=video))
+    profiles = [_make_profile(cfg, rng) for _ in range(cfg.n_users)]
     signal = cfg.make_signal_model().generate(cfg.n_slots, cfg.n_users, rng)
     if not np.all(np.isfinite(signal)):
         raise ConfigurationError("signal model produced non-finite values")
+    # Arrivals draw last (and "all_at_zero" draws nothing) so enabling
+    # an arrival process never perturbs sizes/rates/signal for a seed.
+    arrivals = generate_arrival_slots(cfg, rng)
+    flows = []
+    for uid in range(cfg.n_users):
+        video = VideoSession(float(sizes[uid]), profiles[uid])
+        flows.append(
+            VideoFlow(user_id=uid, video=video, arrival_slot=int(arrivals[uid]))
+        )
     return Workload(flows=flows, signal_dbm=signal)

@@ -48,6 +48,7 @@ class TestRegistry:
             "fig09",
             "fig10",
             "theorem1",
+            "churn",
         }
 
     def test_unknown_experiment_rejected(self):
