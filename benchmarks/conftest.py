@@ -34,6 +34,14 @@ def pytest_addoption(parser):
         "(fail on any kernel p50 slowdown > 25%)",
     )
     parser.addoption(
+        "--batch",
+        action="store_true",
+        default=False,
+        help="enable the run-stacked batch throughput benches in "
+        "bench_scaling.py (serial vs run_batch at R=16, N=50; gauges land "
+        "in BENCH_scaling.json under scaling.batch.*)",
+    )
+    parser.addoption(
         "--check-scaling",
         action="store",
         default=None,

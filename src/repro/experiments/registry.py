@@ -8,7 +8,10 @@ EXPERIMENTS.md-ready rendering.  ``--jobs N`` installs a process-pool
 parallelising every sweep / comparison / calibration grid underneath
 (results and metrics are bit-identical to ``--jobs 1``; per-slot trace
 events stay worker-local, so use ``--jobs 1`` with ``--report-dir``
-when the full slot stream matters).
+when the full slot stream matters).  ``--batch R`` additionally stacks
+up to R consecutive compatible runs into one vectorized slot loop
+(:mod:`repro.sim.batch`) — also bit-identical, and multiplicative with
+``--jobs``.
 
 Live telemetry flags (see :mod:`repro.obs.live` and the
 "Watching a run live" section of EXPERIMENTS.md):
@@ -129,6 +132,15 @@ def main(argv: list[str] | None = None) -> int:
         "calibration grids); results are bit-identical to --jobs 1",
     )
     run_p.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="runs stacked per slot loop (run-stacked batching): "
+        "consecutive compatible runs of a sweep/multi-seed/calibration "
+        "grid execute as one vectorized batch; results are bit-identical "
+        "to --batch 1 and compose with --jobs (J workers x R-run batches)",
+    )
+    run_p.add_argument(
         "--watch",
         action="store_true",
         help="render the live dashboard to stderr every second",
@@ -212,7 +224,13 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     exit_code = 0
     try:
-        with use_executor(RunExecutor(jobs=args.jobs, heartbeat_s=heartbeat_s)):
+        with use_executor(
+            RunExecutor(
+                jobs=args.jobs,
+                heartbeat_s=heartbeat_s,
+                batch_size=args.batch,
+            )
+        ):
             for exp_id in ids:
                 start = time.perf_counter()
                 if args.report_dir is not None:

@@ -36,6 +36,9 @@ from repro.kernels import fleet_step as _fleet_step  # noqa: E402,F401
 from repro.kernels import rrc_step as _rrc_step  # noqa: E402,F401
 from repro.kernels import rtma_rounds as _rtma_rounds  # noqa: E402,F401
 
+# The batch kernels wrap the serial bodies above, so they import last.
+from repro.kernels import batch_step as _batch_step  # noqa: E402,F401
+
 __all__ = [
     "BACKEND_CHOICES",
     "ENV_VAR",

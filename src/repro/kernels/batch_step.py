@@ -1,0 +1,242 @@
+"""Run-stacked batch kernels: EMA DP and RTMA rounds over R segments.
+
+The batch engine (:mod:`repro.sim.batch`) folds R shape-compatible
+runs into a single ``(R*N,)`` row space.  Three of the four hot kernel
+families — fleet ``begin_slot``/``deliver``, the RRC tail step, and
+the arena ufunc chains — are row-elementwise, so the stacked fleet
+dispatches straight through the existing registered kernels: the run
+axis simply rides along the row axis, and backend selection plus span
+attribution keep working unchanged.
+
+The two cross-user kernels are different: the EMA DP couples every
+active user of a run through the shared unit budget, and RTMA's round
+grants consume a per-run budget in rate order.  Stacking must not let
+one run's allocation see another run's budget, so both get segmented
+variants here that take the per-run segment table and iterate runs
+inside the kernel — one registry dispatch per slot for all R runs
+instead of R dispatches.  Each segment executes the *serial* kernel
+body on contiguous per-run views, which is what makes the batch path
+bit-identical to running each run alone (guarded by
+``tests/integration/test_batch_equivalence.py``).
+
+The python sources call the serial loop bodies through module-level
+bindings (``maybe_njit(...) or ...``): under Numba the bindings are
+lazily-compiled dispatchers the outer loop can call from nopython
+mode; without Numba they are the plain interpreted functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.backend import maybe_njit
+from repro.kernels.ema_dp import ema_dp_loops, ema_dp_numpy
+from repro.kernels.registry import register
+from repro.kernels.rtma_rounds import rtma_rounds_loops, rtma_rounds_numpy
+
+__all__ = [
+    "rtma_rounds_batch_numpy",
+    "rtma_rounds_batch_loops",
+    "ema_dp_batch_numpy",
+    "ema_dp_batch_loops",
+]
+
+_RTMA_INNER = maybe_njit(rtma_rounds_loops) or rtma_rounds_loops
+_EMA_INNER = maybe_njit(ema_dp_loops) or ema_dp_loops
+
+
+def rtma_rounds_batch_numpy(phi, eligible, need, cap, order, budgets, run_offsets):
+    """Serial numpy rounds per run segment.
+
+    All row arrays are stacked ``(R*N,)``; ``order`` holds *run-local*
+    indices (each run's own stable rate argsort), ``budgets`` the
+    per-run unit budgets, ``run_offsets`` the ``(R+1,)`` segment
+    bounds.  ``phi`` is updated in place through the segment views.
+    """
+    n_runs = budgets.shape[0]
+    for r in range(n_runs):
+        lo = run_offsets[r]
+        hi = run_offsets[r + 1]
+        rtma_rounds_numpy(
+            phi[lo:hi],
+            eligible[lo:hi],
+            need[lo:hi],
+            cap[lo:hi],
+            order[lo:hi],
+            int(budgets[r]),
+        )
+    return 0
+
+
+def rtma_rounds_batch_loops(phi, eligible, need, cap, order, budgets, run_offsets):
+    """Sequential rounds per run segment (numba source)."""
+    n_runs = budgets.shape[0]
+    for r in range(n_runs):
+        lo = run_offsets[r]
+        hi = run_offsets[r + 1]
+        _RTMA_INNER(
+            phi[lo:hi],
+            eligible[lo:hi],
+            need[lo:hi],
+            cap[lo:hi],
+            order[lo:hi],
+            budgets[r],
+        )
+    return 0
+
+
+def ema_dp_batch_numpy(
+    phi,
+    active_idx,
+    act_bounds,
+    budgets,
+    w_eff,
+    origin,
+    slope,
+    const,
+    idle,
+    rows_flat,
+    m_idx,
+    fscratch,
+    iscratch,
+):
+    """Serial numpy DP per run segment.
+
+    ``active_idx`` holds the *global* (stacked-row) indices of every
+    active user, run-sorted; ``act_bounds`` is the ``(R+1,)`` segment
+    table over it.  The coefficient vectors (``w_eff``/``origin``/
+    ``slope``/``const``/``idle``) are packed in the same active order.
+    Each run's DP runs with its own budget (``n_states = budget + 1``)
+    over shared scratch sized for the largest segment, exactly as the
+    serial :class:`~repro.core.ema.EMAScheduler` sizes its buffers.
+    Runs with no active users or a non-positive budget are skipped —
+    mirroring the scheduler's serial early-out.
+    """
+    n_runs = budgets.shape[0]
+    for r in range(n_runs):
+        lo = act_bounds[r]
+        hi = act_bounds[r + 1]
+        n_active = hi - lo
+        budget = budgets[r]
+        if n_active == 0 or budget <= 0:
+            continue
+        n_states = budget + 1
+        rows = rows_flat[: n_active * n_states].reshape(n_active, n_states)
+        ema_dp_numpy(
+            phi,
+            active_idx[lo:hi],
+            w_eff[lo:hi],
+            origin[lo:hi],
+            slope[lo:hi],
+            const[lo:hi],
+            idle[lo:hi],
+            rows,
+            m_idx[:n_states],
+            fscratch[: 4 * n_states],
+            iscratch[:n_states],
+        )
+    return 0
+
+
+def ema_dp_batch_loops(
+    phi,
+    active_idx,
+    act_bounds,
+    budgets,
+    w_eff,
+    origin,
+    slope,
+    const,
+    idle,
+    rows_flat,
+    m_idx,
+    fscratch,
+    iscratch,
+):
+    """Loop DP per run segment (numba source)."""
+    n_runs = budgets.shape[0]
+    for r in range(n_runs):
+        lo = act_bounds[r]
+        hi = act_bounds[r + 1]
+        n_active = hi - lo
+        budget = budgets[r]
+        if n_active == 0 or budget <= 0:
+            continue
+        n_states = budget + 1
+        rows = rows_flat[: n_active * n_states].reshape(n_active, n_states)
+        _EMA_INNER(
+            phi,
+            active_idx[lo:hi],
+            w_eff[lo:hi],
+            origin[lo:hi],
+            slope[lo:hi],
+            const[lo:hi],
+            idle[lo:hi],
+            rows,
+            m_idx[:n_states],
+            fscratch[: 4 * n_states],
+            iscratch[:n_states],
+        )
+    return 0
+
+
+def _warmup_rtma(fn):
+    """Specialise the production signature on a two-run instance."""
+    phi = np.zeros(4, dtype=np.int64)
+    eligible = np.array([True, False, True, True])
+    need = np.ones(4, dtype=np.int64)
+    cap = np.full(4, 3, dtype=np.int64)
+    order = np.array([0, 1, 1, 0], dtype=np.int64)
+    budgets = np.full(2, 2, dtype=np.int64)
+    run_offsets = np.array([0, 2, 4], dtype=np.int64)
+    fn(phi, eligible, need, cap, order, budgets, run_offsets)
+
+
+def _warmup_ema(fn):
+    """Specialise the production signature on a two-run instance."""
+    n_states = 2
+    phi = np.zeros(2, dtype=np.int64)
+    active_idx = np.arange(2, dtype=np.int64)
+    act_bounds = np.array([0, 1, 2], dtype=np.int64)
+    budgets = np.ones(2, dtype=np.int64)
+    w_eff = np.ones(2, dtype=np.int64)
+    origin = np.zeros(2, dtype=np.int64)
+    slope = np.full(2, -1.0)
+    const = np.zeros(2)
+    idle = np.full(2, 0.5)
+    rows_flat = np.empty(n_states, dtype=float)
+    m_idx = np.arange(n_states, dtype=float)
+    fscratch = np.empty(4 * n_states)
+    iscratch = np.empty(n_states, dtype=np.int64)
+    fn(
+        phi,
+        active_idx,
+        act_bounds,
+        budgets,
+        w_eff,
+        origin,
+        slope,
+        const,
+        idle,
+        rows_flat,
+        m_idx,
+        fscratch,
+        iscratch,
+    )
+
+
+register(
+    "rtma_rounds_batch",
+    numpy=rtma_rounds_batch_numpy,
+    python=rtma_rounds_batch_loops,
+    warmup=_warmup_rtma,
+    phase="schedule",
+)
+
+register(
+    "ema_dp_batch",
+    numpy=ema_dp_batch_numpy,
+    python=ema_dp_batch_loops,
+    warmup=_warmup_ema,
+    phase="schedule",
+)

@@ -32,6 +32,7 @@ from repro.net.slicing import ResourceSlicer
 
 __all__ = [
     "SlotObservation",
+    "BatchSlotObservation",
     "DataReceiver",
     "InformationCollector",
     "DataTransmitter",
@@ -95,6 +96,32 @@ class SlotObservation:
     def sendable_kb(self) -> np.ndarray:
         """Useful bytes per user: min(remaining media, receiver window)."""
         return np.minimum(self.remaining_kb, self.receivable_kb)
+
+
+@dataclass(frozen=True)
+class BatchSlotObservation(SlotObservation):
+    """A :class:`SlotObservation` over R run-stacked row segments.
+
+    The batch engine (:mod:`repro.sim.batch`) folds R shape-compatible
+    runs into one ``(R*N,)`` row space; every per-user array above
+    covers all R runs, with run ``r`` owning rows
+    ``run_offsets[r]:run_offsets[r+1]``.  The scalar ``unit_budget`` /
+    ``capacity_kbps`` fields hold cross-run aggregates (sums) for
+    display only — constraint enforcement is per run through
+    ``run_unit_budgets`` (see :func:`repro.core.allocation.check_constraints`
+    and ``clip_to_constraints``, which branch on its presence).
+    """
+
+    #: ``(R+1,)`` int64 row bounds of each run's segment.
+    run_offsets: np.ndarray | None = None
+    #: ``(R,)`` int64 per-run Eq. (2) budgets.
+    run_unit_budgets: np.ndarray | None = None
+    #: ``(R,)`` float per-run video-slice capacity S(n), KB/s.
+    run_capacity_kbps: np.ndarray | None = None
+
+    @property
+    def n_runs(self) -> int:
+        return 0 if self.run_offsets is None else int(self.run_offsets.shape[0] - 1)
 
 
 class DataReceiver:
@@ -288,6 +315,60 @@ class InformationCollector:
             departed=departed,
         )
 
+    def collect_fleet_batch(
+        self,
+        slot: int,
+        sig_row: np.ndarray,
+        flows: list[VideoFlow],
+        fleet,
+        bs: BaseStation,
+        link_row: np.ndarray,
+        p_row: np.ndarray,
+        idle_tail_cost_mj: np.ndarray,
+        run_offsets: np.ndarray,
+        run_unit_budgets: np.ndarray,
+        run_capacity_kbps: np.ndarray,
+        arena,
+    ) -> BatchSlotObservation:
+        """:meth:`collect_fleet` over a run-stacked fleet.
+
+        The per-run BS capacities and unit budgets arrive precomputed
+        (the batch engine derives them once per slot from each run's
+        capacity model and slicer), and the link/power columns come
+        from the batch's precomputed Eq. (24) tables — ``link_row`` /
+        ``p_row`` are contiguous per-slot views of those tables, with
+        values bit-identical to the per-slot model evaluation the
+        serial arena path performs.  Client feedback reads the stacked
+        fleet exactly like the serial path reads a single-run fleet.
+        """
+        n = fleet.n_users
+        sig = np.asarray(sig_row, dtype=float)
+        if len(flows) != n or sig.shape != (n,):
+            raise SimulationError("inconsistent per-user array lengths")
+        rates = self.dpi.observed_rates_kbps(flows, fleet.rates_for_slot(slot))
+        active = fleet.active_mask_into(slot, arena.active, arena.f8_tmp, arena.b1_tmp)
+        remaining = fleet.remaining_into(arena.remaining_kb)
+        receivable = fleet.receivable_into(slot, arena.receivable_kb, arena.b1_tmp)
+        return BatchSlotObservation(
+            slot=slot,
+            tau_s=bs.tau_s,
+            delta_kb=bs.delta_kb,
+            capacity_kbps=float(run_capacity_kbps.sum()),
+            unit_budget=int(run_unit_budgets.sum()),
+            sig_dbm=sig,
+            rate_kbps=rates,
+            link_units=link_row,
+            p_mj_per_kb=p_row,
+            active=active,
+            buffer_s=fleet.buffer_occupancy_s,
+            remaining_kb=remaining,
+            idle_tail_cost_mj=np.asarray(idle_tail_cost_mj, dtype=float),
+            receivable_kb=receivable,
+            run_offsets=run_offsets,
+            run_unit_budgets=run_unit_budgets,
+            run_capacity_kbps=run_capacity_kbps,
+        )
+
 
 class DataTransmitter:
     """Delivers allocated shards to clients, bounded by receiver queues."""
@@ -473,6 +554,75 @@ class Gateway:
             )
         else:
             delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
+        if timed:
+            rec_transmit(_pc() - _t2)
+        return obs, phi, delivered_kb
+
+    def step_batch(
+        self,
+        slot: int,
+        sig_row: np.ndarray,
+        flows: list[VideoFlow],
+        fleet,
+        link_row: np.ndarray,
+        p_row: np.ndarray,
+        idle_tail_cost_mj: np.ndarray,
+        run_offsets: np.ndarray,
+        run_unit_budgets: np.ndarray,
+        run_capacity_kbps: np.ndarray,
+        arena,
+        instrumentation=None,
+    ) -> tuple[BatchSlotObservation, np.ndarray, np.ndarray]:
+        """:meth:`step` over a run-stacked fleet.
+
+        One observe/schedule/transmit cycle covers all R runs: the
+        collector builds a segment-aware
+        :class:`BatchSlotObservation`, the (batch-adapted) scheduler
+        allocates every run, and the transmitter delivers through the
+        stacked fleet — the delivery/receiver chains are row-elementwise,
+        so :meth:`DataTransmitter.transmit_fleet` is already
+        segment-transparent.  Phase timing mirrors :meth:`step` (one
+        profiler sample per phase per slot for the whole batch).
+        """
+        timed = instrumentation is not None
+        if timed:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not instrumentation:
+                profiler = instrumentation.profiler
+                cache = self._obs_cache = (
+                    instrumentation,
+                    profiler.samples("observe").append,
+                    profiler.samples("schedule").append,
+                    profiler.samples("transmit").append,
+                )
+            _, rec_observe, rec_schedule, rec_transmit = cache
+            _pc = perf_counter
+            _t0 = _pc()
+        obs = self.collector.collect_fleet_batch(
+            slot,
+            sig_row,
+            flows,
+            fleet,
+            self.bs,
+            link_row,
+            p_row,
+            idle_tail_cost_mj,
+            run_offsets,
+            run_unit_budgets,
+            run_capacity_kbps,
+            arena,
+        )
+        self.receiver.refill(obs.remaining_kb)
+        if timed:
+            _t1 = _pc()
+            rec_observe(_t1 - _t0)
+        phi = np.asarray(self.scheduler.allocate(obs))
+        if timed:
+            _t2 = _pc()
+            rec_schedule(_t2 - _t1)
+        delivered_kb = self.transmitter.transmit_fleet(
+            phi, obs, self.receiver, fleet, arena=arena
+        )
         if timed:
             rec_transmit(_pc() - _t2)
         return obs, phi, delivered_kb

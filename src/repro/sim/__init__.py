@@ -15,9 +15,13 @@
   helpers that set ``Phi = alpha * E_default`` / pick EMA's ``V`` for a
   target rebuffering bound;
 * :mod:`repro.sim.executor` — serial and process-pool run execution
-  behind one ``map_runs`` API (``repro-experiments --jobs N``).
+  behind one ``map_runs`` API (``repro-experiments --jobs N``);
+* :mod:`repro.sim.batch` — run-stacked batch execution: R compatible
+  runs share one slot loop, bit-identical to serial
+  (``repro-experiments --batch R``).
 """
 
+from repro.sim.batch import BatchPlan, batch_incompatibility, run_batch
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
 from repro.sim.executor import (
@@ -66,4 +70,7 @@ __all__ = [
     "map_runs",
     "use_executor",
     "current_executor",
+    "BatchPlan",
+    "batch_incompatibility",
+    "run_batch",
 ]

@@ -76,6 +76,7 @@ from typing import Any, Iterator, Sequence
 from repro.errors import ConfigurationError
 from repro.obs.instrument import Instrumentation, current_instrumentation
 from repro.obs.provenance import config_hash
+from repro.sim.batch import batch_incompatibility, run_batch
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulation
 from repro.sim.results import SimulationResult
@@ -135,6 +136,72 @@ def _init_worker(
         _WORKER_HEARTBEAT.beat("idle")
     else:
         _WORKER_HEARTBEAT = None
+
+
+def _run_group(payload):
+    """Worker entry for one batch group (``batch_size > 1`` pools).
+
+    ``payload`` carries the group's configs/schedulers/workload keys in
+    task order; the group runs through a
+    :class:`~repro.sim.batch.BatchPlan` (one stacked slot loop) under a
+    private bundle.  The metrics round trip ships the plan's *per-run*
+    registry states when the stacked path produced them — the parent
+    merges one state per run in task order, exactly as :func:`_run_task`
+    does per single run, so counter float-accumulation order matches a
+    serial execution bit-for-bit.  Runs that fell back to the serial
+    engine inside the worker (singleton groups, live plane attached)
+    ship the worker bundle's whole state instead.
+    """
+    configs, schedulers, wl_keys, instrumented, spans_on, group_index = payload
+    tasks = []
+    for config, scheduler, wl_key in zip(configs, schedulers, wl_keys):
+        if wl_key is not None:
+            workload = _WORKER_WORKLOADS[wl_key]
+        else:
+            key = config_hash(config)
+            workload = _WORKER_WORKLOADS.get(key)
+            if workload is None:
+                workload = generate_workload(config)
+                _WORKER_WORKLOADS[key] = workload
+        tasks.append(RunTask(config, scheduler, workload))
+    heartbeat = _WORKER_HEARTBEAT
+    if heartbeat is not None:
+        heartbeat.task = group_index
+    from repro.sim.batch import BatchPlan
+
+    plan = BatchPlan(tasks)
+    if not instrumented:
+        if heartbeat is not None:
+            heartbeat.beat("task.start", n_slots=configs[0].n_slots)
+        results = plan.run(None)
+        if heartbeat is not None:
+            heartbeat.beat("idle")
+        return results, None, None, None
+    live = None
+    if _WORKER_LIVE_SPEC is not None or heartbeat is not None:
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry.from_spec(_WORKER_LIVE_SPEC or {}, heartbeat=heartbeat)
+    spans = None
+    if spans_on:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder()
+    instr = Instrumentation(live=live, spans=spans)
+    results = plan.run(instr)
+    if heartbeat is not None:
+        heartbeat.beat("idle")
+    metrics_payload = (
+        ("runs", plan.run_metric_states)
+        if plan.run_metric_states
+        else ("group", instr.metrics.state())
+    )
+    return (
+        results,
+        metrics_payload,
+        instr.profiler.raw_samples(),
+        spans.state() if spans is not None else None,
+    )
 
 
 def _run_task(payload):
@@ -201,6 +268,20 @@ class RunExecutor:
     stall_after_s:
         Heartbeat silence (mid-task) after which a worker is flagged
         as stalled.
+    batch_size:
+        Maximum runs stacked into one :func:`~repro.sim.batch.run_batch`
+        slot loop.  ``1`` (default) preserves the historical
+        one-``Simulation``-per-task behaviour exactly.  With ``R > 1``,
+        *consecutive* compatible tasks (same shape/scheduler type — see
+        :func:`~repro.sim.batch.batch_incompatibility`) are grouped
+        greedily and each group executes as one stacked run;
+        incompatible neighbours simply break the group, so heterogeneous
+        batches degrade to serial behaviour instead of failing.
+        Composes with ``jobs``: each pool worker receives whole groups,
+        so ``jobs=J, batch_size=R`` runs ``J`` stacked loops of up to
+        ``R`` runs each concurrently.  Results and metrics stay
+        bit-identical to ``batch_size=1``
+        (``tests/integration/test_batch_equivalence.py``).
     """
 
     def __init__(
@@ -208,12 +289,16 @@ class RunExecutor:
         jobs: int = 1,
         heartbeat_s: float | None = None,
         stall_after_s: float = 30.0,
+        batch_size: int = 1,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         self.jobs = int(jobs)
         self.heartbeat_s = float(heartbeat_s) if heartbeat_s is not None else None
         self.stall_after_s = float(stall_after_s)
+        self.batch_size = int(batch_size)
 
     def map_runs(
         self,
@@ -233,6 +318,25 @@ class RunExecutor:
             if instrumentation is not None
             else current_instrumentation()
         )
+        if self.batch_size > 1 and len(tasks) > 1:
+            groups = self._group_tasks(tasks)
+            if self.jobs == 1 or len(groups) == 1:
+                results: list[SimulationResult] = []
+                for group in groups:
+                    if len(group) == 1:
+                        t = group[0]
+                        results.append(
+                            Simulation(
+                                t.config,
+                                t.scheduler,
+                                t.workload,
+                                instrumentation=instr,
+                            ).run()
+                        )
+                    else:
+                        results.extend(run_batch(group, instrumentation=instr))
+                return results
+            return self._map_pool_groups(groups, instr)
         if self.jobs == 1 or len(tasks) == 1:
             return [
                 Simulation(
@@ -241,6 +345,30 @@ class RunExecutor:
                 for t in tasks
             ]
         return self._map_pool(tasks, instr)
+
+    def _group_tasks(self, tasks: list[RunTask]) -> list[list[RunTask]]:
+        """Greedily group *consecutive* compatible tasks up to batch_size.
+
+        Task order is never permuted — results must come back in task
+        order, and batching is invisible to metrics only when each
+        group is a contiguous slice of the original sequence.
+        """
+        groups: list[list[RunTask]] = []
+        group: list[RunTask] = []
+        for t in tasks:
+            if not group:
+                group = [t]
+                continue
+            if (
+                len(group) < self.batch_size
+                and batch_incompatibility(group + [t]) is None
+            ):
+                group.append(t)
+            else:
+                groups.append(group)
+                group = [t]
+        groups.append(group)
+        return groups
 
     def _map_pool(
         self, tasks: list[RunTask], instr: Instrumentation | None
@@ -339,6 +467,128 @@ class RunExecutor:
                 # Span trees merge in task order, so a pooled batch
                 # interns paths in the same order a serial one records
                 # them — tree structure and counts are deterministic.
+                if spans_state is not None and instr.spans is not None:
+                    instr.spans.merge_state(spans_state)
+        return results
+
+    def _map_pool_groups(
+        self, groups: list[list[RunTask]], instr: Instrumentation | None
+    ) -> list[SimulationResult]:
+        """Pool dispatch of whole batch groups (``jobs=J, batch_size=R``).
+
+        Mirrors :meth:`_map_pool` — same workload dedup, heartbeat
+        plumbing, broken-pool serial retry, and task-order merge — but
+        each payload is one group, executed in the worker through
+        :func:`_run_group`.
+        """
+        table: dict[str, Workload] = {}
+        keys_by_id: dict[int, str] = {}
+        payloads = []
+        instrumented = instr is not None
+        live = instr.live if instrumented else None
+        spans_on = instrumented and instr.spans is not None
+        for index, group in enumerate(groups):
+            wl_keys = []
+            for t in group:
+                wl_key = None
+                if t.workload is not None:
+                    wl_key = keys_by_id.get(id(t.workload))
+                    if wl_key is None:
+                        wl_key = f"wl{len(table)}"
+                        keys_by_id[id(t.workload)] = wl_key
+                        table[wl_key] = t.workload
+                wl_keys.append(wl_key)
+                bind = getattr(t.scheduler, "bind_instrumentation", None)
+                if bind is not None:
+                    bind(None)
+            payloads.append(
+                (
+                    [t.config for t in group],
+                    [t.scheduler for t in group],
+                    wl_keys,
+                    instrumented,
+                    spans_on,
+                    index,
+                )
+            )
+
+        live_spec = live.spec() if live is not None else None
+        heartbeats_on = self.heartbeat_s is not None and instrumented
+        manager = None
+        monitor = None
+        hb_queue = None
+        try:
+            if heartbeats_on:
+                from repro.obs.live import HeartbeatMonitor
+
+                manager = multiprocessing.Manager()
+                hb_queue = manager.Queue()
+                monitor = HeartbeatMonitor(
+                    hb_queue,
+                    stall_after_s=self.stall_after_s,
+                    metrics=instr.metrics,
+                    tracer=instr.tracer,
+                ).start()
+                if live is not None:
+                    live.attach_monitor(monitor)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(groups)),
+                    initializer=_init_worker,
+                    initargs=(
+                        table,
+                        hb_queue,
+                        self.heartbeat_s or 1.0,
+                        live_spec,
+                    ),
+                ) as pool:
+                    outs = list(pool.map(_run_group, payloads))
+            except BrokenProcessPool as exc:
+                log.warning(
+                    "process pool broke (%s); retrying %d batch group(s) "
+                    "serially",
+                    exc,
+                    len(groups),
+                )
+                results = []
+                for group in groups:
+                    if len(group) == 1:
+                        t = group[0]
+                        results.append(
+                            Simulation(
+                                t.config,
+                                t.scheduler,
+                                t.workload,
+                                instrumentation=instr,
+                            ).run()
+                        )
+                    else:
+                        results.extend(run_batch(group, instrumentation=instr))
+                return results
+        finally:
+            if monitor is not None:
+                monitor.stop()
+            if manager is not None:
+                manager.shutdown()
+        results = []
+        for group_results, metrics_payload, profiler_samples, spans_state in outs:
+            results.extend(group_results)
+            if instr is not None:
+                if metrics_payload is not None:
+                    # ("runs", [state, ...]) merges one registry state
+                    # per run in task order — counter accumulation order
+                    # then matches a serial execution exactly (floats
+                    # are non-associative; a single group-summed state
+                    # would drift by an ulp).  ("group", state) is the
+                    # worker-side serial-fallback shape.
+                    kind, payload = metrics_payload
+                    if kind == "runs":
+                        for state in payload:
+                            instr.metrics.merge_state(state)
+                    else:
+                        instr.metrics.merge_state(payload)
+                if profiler_samples is not None:
+                    instr.profiler.merge_samples(profiler_samples)
                 if spans_state is not None and instr.spans is not None:
                     instr.spans.merge_state(spans_state)
         return results
