@@ -35,6 +35,7 @@ import sys
 import threading
 import time
 from collections.abc import Callable
+from contextlib import nullcontext
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
@@ -173,6 +174,14 @@ def main(argv: list[str] | None = None) -> int:
         default="warn",
         help="what a firing SLO rule does (abort exits with code 3)",
     )
+    run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject a fault plan into every run: a FaultPlan.spec() "
+        'JSON string (e.g. \'{"signal": [{"start_slot": 100, '
+        '"n_slots": 50}]}\') or @file to read one from disk',
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -220,11 +229,23 @@ def main(argv: list[str] | None = None) -> int:
                 target=_watch_loop, name="repro-live-watch", daemon=True
             ).start()
 
+    fault_ctx = nullcontext()
+    if args.faults is not None:
+        import json
+
+        from repro.faults import FaultPlan, use_fault_plan
+
+        raw = args.faults
+        if raw.startswith("@"):
+            with open(raw[1:]) as f:
+                raw = f.read()
+        fault_ctx = use_fault_plan(FaultPlan.from_spec(json.loads(raw)))
+
     heartbeat_s = 1.0 if (live_on and args.jobs > 1) else None
     ids = list(EXPERIMENTS) if args.exp_id == "all" else [args.exp_id]
     exit_code = 0
     try:
-        with use_executor(
+        with fault_ctx, use_executor(
             RunExecutor(
                 jobs=args.jobs,
                 heartbeat_s=heartbeat_s,

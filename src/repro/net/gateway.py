@@ -379,11 +379,15 @@ class DataTransmitter:
         obs: SlotObservation,
         receiver: DataReceiver,
         clients: list[StreamingClient],
+        stall_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Send ``phi_i(n) * delta`` KB to each client.
 
         Returns the KB actually accepted per user (after receiver-queue
-        and session-remaining truncation).
+        and session-remaining truncation).  ``stall_mask`` marks users
+        whose delivery path is stalled this slot (fault injection):
+        their offer is zeroed — allocated frames go untransmitted and
+        the queued bytes stay buffered at the gateway.
         """
         phi = np.asarray(allocation_units)
         if phi.shape != (len(clients),):
@@ -392,6 +396,8 @@ class DataTransmitter:
             raise SimulationError("allocation must be non-negative")
         want_kb = phi.astype(float) * obs.delta_kb
         offer_kb = np.minimum(want_kb, receiver.queued_kb)
+        if stall_mask is not None:
+            offer_kb[stall_mask] = 0.0
         accepted = np.zeros(len(clients), dtype=float)
         for i, client in enumerate(clients):
             if offer_kb[i] > 0:
@@ -408,6 +414,7 @@ class DataTransmitter:
         receiver: DataReceiver,
         fleet,
         arena=None,
+        stall_mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """:meth:`transmit` against a :class:`~repro.media.fleet.ClientFleet`.
 
@@ -424,11 +431,15 @@ class DataTransmitter:
         if arena is not None:
             want_kb = np.multiply(phi, obs.delta_kb, out=arena.want_kb)
             offer_kb = np.minimum(want_kb, receiver.queued_kb, out=want_kb)
+            if stall_mask is not None:
+                offer_kb[stall_mask] = 0.0
             accepted = fleet.deliver(offer_kb, obs.slot, out=arena.accepted_kb)
             receiver.drain(accepted, out=arena.drained_kb)
             return accepted
         want_kb = phi.astype(float) * obs.delta_kb
         offer_kb = np.minimum(want_kb, receiver.queued_kb)
+        if stall_mask is not None:
+            offer_kb[stall_mask] = 0.0
         accepted = fleet.deliver(offer_kb, obs.slot)
         receiver.drain(accepted)
         return accepted
@@ -471,6 +482,7 @@ class Gateway:
         arena=None,
         joined_mask: np.ndarray | None = None,
         departed_mask: np.ndarray | None = None,
+        stall_mask: np.ndarray | None = None,
     ) -> tuple[SlotObservation, np.ndarray, np.ndarray]:
         """Run one slot of the framework.
 
@@ -550,10 +562,12 @@ class Gateway:
             rec_schedule(_t2 - _t1)
         if fleet is not None:
             delivered_kb = self.transmitter.transmit_fleet(
-                phi, obs, self.receiver, fleet, arena=arena
+                phi, obs, self.receiver, fleet, arena=arena, stall_mask=stall_mask
             )
         else:
-            delivered_kb = self.transmitter.transmit(phi, obs, self.receiver, clients)
+            delivered_kb = self.transmitter.transmit(
+                phi, obs, self.receiver, clients, stall_mask=stall_mask
+            )
         if timed:
             rec_transmit(_pc() - _t2)
         return obs, phi, delivered_kb

@@ -60,6 +60,7 @@ __all__ = [
     "RTMAEnergyBudgetChecker",
     "EMAQueueChecker",
     "SessionConservationChecker",
+    "FaultInjectionChecker",
     "DEFAULT_CHECKERS",
     "InvariantReport",
     "check_invariants",
@@ -172,6 +173,12 @@ class RunTimeline:
     #: / ``session.end``) in trace order; empty for fixed-population
     #: runs, which emit none.
     sessions: list[dict[str, Any]] = field(default_factory=list)
+    #: The ``run.start`` event's ``faults`` spec (a
+    #: :meth:`repro.faults.FaultPlan.spec` dict) when the run injected
+    #: faults, else ``None``.
+    faults: dict[str, Any] | None = None
+    #: ``fault.window`` events in trace order (one per injected window).
+    fault_windows: list[dict[str, Any]] = field(default_factory=list)
     #: The ``run.end`` event's summary fields, when present.
     end_summary: dict[str, Any] = field(default_factory=dict)
 
@@ -336,6 +343,7 @@ class _RunBuilder:
             rrc = start_event.get("rrc")
             if rrc:
                 tl.rrc = RRCParams(**{k: float(v) for k, v in rrc.items()})
+            tl.faults = start_event.get("faults")
 
     @property
     def last_slot(self) -> int:
@@ -413,6 +421,9 @@ def timelines_from_events(events: Iterable[dict[str, Any]]) -> list[RunTimeline]
         elif kind in ("session.start", "session.reject", "session.end"):
             if builder is not None:
                 builder.session_rows.append(event)
+        elif kind == "fault.window":
+            if builder is not None:
+                builder.timeline.fault_windows.append(event)
         elif kind == "run.end":
             if builder is not None:
                 builder.timeline.end_summary = {
@@ -861,12 +872,144 @@ class SessionConservationChecker(InvariantChecker):
         return out
 
 
+class FaultInjectionChecker(InvariantChecker):
+    """Injected faults actually bit: the traced grids reflect the plan.
+
+    The ``run.start`` event of a faulted run carries the
+    :meth:`repro.faults.FaultPlan.spec` dict, which this checker
+    replays against the recorded grids:
+
+    * signal blackouts — every affected (slot, user) cell of the traced
+      ``sig_dbm`` grid equals the blackout level;
+    * capacity outages (``factor == 0``) — the traced ``unit_budget``
+      is zero across the window, so no allocation (and hence no
+      delivery) can clear Eq. (2) there; degradation windows
+      (``0 < factor < 1``) must not exceed ``factor`` times the
+      largest un-faulted slot budget;
+    * flow stalls — the traced ``delivered_kb`` is zero for every
+      stalled (slot, user) cell;
+    * the ``fault.window`` event count matches the plan.
+
+    Note the Eq. (1)-(2) :class:`CapacityChecker` needs no fault
+    awareness: it compares allocations against the *traced* per-slot
+    budgets and link caps, which already reflect the injected outages.
+    This checker closes the other direction — that the injection was
+    not silently dropped.
+    """
+
+    name = "fault.injection"
+
+    def __init__(self, tol: float = 1e-9):
+        self.tol = tol
+
+    def skip_reason(self, tl: RunTimeline) -> str | None:
+        if tl.faults is None:
+            return "run declares no fault plan"
+        if tl.sessions:
+            return (
+                "dynamic run: grids are row-keyed while fault windows "
+                "name sessions"
+            )
+        if not tl.has_user_grids:
+            return "trace has no per-user grids"
+        return None
+
+    def check(self, tl: RunTimeline) -> list[Violation]:
+        from repro.faults import FaultPlan
+
+        out: list[Violation] = []
+        plan = FaultPlan.from_spec(tl.faults)
+        n_slots = tl.n_slots
+
+        sig = tl.grids.get("sig_dbm")
+        if sig is not None:
+            for w in plan.signal:
+                lo = min(w.start_slot, n_slots)
+                hi = min(w.start_slot + w.n_slots, n_slots)
+                users = (
+                    range(sig.shape[1]) if w.users is None else w.users
+                )
+                for user in users:
+                    if user >= sig.shape[1]:
+                        continue
+                    col = sig[lo:hi, user]
+                    bad = np.flatnonzero(np.abs(col - w.level_dbm) > 1e-6)
+                    for off in bad:
+                        out.append(
+                            self._violation(
+                                lo + int(off), int(user), float(w.level_dbm),
+                                float(col[off]),
+                                "signal inside a blackout window is not at "
+                                "the blackout level",
+                            )
+                        )
+
+        budget = tl.totals.get("unit_budget")
+        if budget is not None and plan.capacity:
+            healthy = ~plan.capacity_slot_mask(len(budget))
+            ceiling = float(budget[healthy].max()) if healthy.any() else None
+            for w in plan.capacity:
+                lo = min(w.start_slot, len(budget))
+                hi = min(w.start_slot + w.n_slots, len(budget))
+                window = budget[lo:hi]
+                if w.factor == 0.0:
+                    for off in np.flatnonzero(window > self.tol):
+                        out.append(
+                            self._violation(
+                                lo + int(off), None, 0.0, float(window[off]),
+                                "non-zero unit budget inside a capacity "
+                                "outage window",
+                            )
+                        )
+                elif ceiling is not None:
+                    cap = w.factor * ceiling + 1.0  # integer budget rounding
+                    for off in np.flatnonzero(window > cap):
+                        out.append(
+                            self._violation(
+                                lo + int(off), None, cap, float(window[off]),
+                                "unit budget inside a degradation window "
+                                "exceeds the degraded capacity",
+                            )
+                        )
+
+        delivered = tl.grids.get("delivered_kb")
+        if delivered is not None:
+            for w in plan.stalls:
+                lo = min(w.start_slot, n_slots)
+                hi = min(w.start_slot + w.n_slots, n_slots)
+                for user in w.users:
+                    if user >= delivered.shape[1]:
+                        continue
+                    col = delivered[lo:hi, user]
+                    for off in np.flatnonzero(col > self.tol):
+                        out.append(
+                            self._violation(
+                                lo + int(off), int(user), 0.0, float(col[off]),
+                                "media delivered to a stalled flow",
+                            )
+                        )
+
+        if tl.fault_windows:
+            expected = len(plan.signal) + len(plan.capacity) + len(plan.stalls)
+            if len(tl.fault_windows) != expected:
+                out.append(
+                    self._violation(
+                        None, None, float(expected),
+                        float(len(tl.fault_windows)),
+                        "fault.window event count disagrees with the "
+                        "run.start fault plan",
+                    )
+                )
+        return out
+
+
 DEFAULT_CHECKERS: tuple[InvariantChecker, ...] = (
     NonNegativeBufferChecker(),
     CapacityChecker(),
     RTMAEnergyBudgetChecker(),
     EMAQueueChecker(),
     SessionConservationChecker(),
+    FaultInjectionChecker(),
 )
 
 

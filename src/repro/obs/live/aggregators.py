@@ -406,6 +406,12 @@ class StreamStat:
             return self.max if self.count else float("nan")
         if agg == "count":
             return float(self.count)
+        if agg == "sum":
+            # Recovered from the Welford state rather than tracked
+            # separately; exact enough for thresholds on totals (e.g.
+            # ``sum(outage_slots) < 500``) and deterministic for a
+            # given sample sequence.
+            return self.welford.mean * self.count
         if agg.startswith("p") and agg[1:].isdigit():
             return self.quantile(float(agg[1:]) / 100.0)
         raise ConfigurationError(f"unknown aggregate {agg!r}")

@@ -164,50 +164,94 @@ class HeartbeatMonitor:
                 return
             self._ingest(record)
 
+    #: Per-task progress fields cleared when a worker moves to a new
+    #: task — carrying them over would show the *previous* task's
+    #: progress/rate until its first progress beat arrives.
+    _TASK_FIELDS = ("slots_done", "n_slots", "slots_per_s", "stats", "scheduler")
+
     def _ingest(self, record: dict[str, Any]) -> None:
         worker = str(record.get("worker", "?"))
+        resumed = False
         with self._lock:
             entry = self.workers.setdefault(worker, {"worker": worker})
+            if "task" in record and record["task"] != entry.get("task"):
+                for key in self._TASK_FIELDS:
+                    entry.pop(key, None)
             entry.update(record)
             entry["seen_ts"] = time.monotonic()
             self.n_beats += 1
             if worker in self.stalled:
                 self.stalled.discard(worker)
-                log.info("worker %s resumed after stall", worker)
-                if self.tracer is not None and self.tracer.enabled:
-                    self.tracer.emit("executor.resume", worker=worker)
+                resumed = True
+        # Emit outside the lock: a slow or blocking tracer must never
+        # stall the drain thread (and, transitively, every snapshot()
+        # caller waiting on the lock).
+        if resumed:
+            log.info("worker %s resumed after stall", worker)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit("executor.resume", worker=worker)
         if self._beats is not None:
             self._beats.inc()
 
     def _check_stalls(self) -> None:
         now = time.monotonic()
+        stalls: list[dict[str, Any]] = []
         with self._lock:
             for worker, entry in self.workers.items():
-                if entry.get("phase") in ("run.end", "idle"):
-                    continue  # between tasks; silence is fine
+                if entry.get("phase") in ("run.end", "idle", "retired"):
+                    continue  # between tasks (or gone); silence is fine
                 age = now - entry.get("seen_ts", now)
                 if age < self.stall_after_s or worker in self.stalled:
                     continue
                 self.stalled.add(worker)
-                log.warning(
-                    "worker %s stalled: no heartbeat for %.1fs "
-                    "(task %s, %s/%s slots)",
-                    worker,
-                    age,
-                    entry.get("task"),
-                    entry.get("slots_done"),
-                    entry.get("n_slots"),
+                stalls.append(
+                    {
+                        "worker": worker,
+                        "silent_s": age,
+                        "task": entry.get("task"),
+                        "slots_done": entry.get("slots_done"),
+                        "n_slots": entry.get("n_slots"),
+                    }
                 )
-                if self._stalls is not None:
-                    self._stalls.inc()
-                if self.tracer is not None and self.tracer.enabled:
-                    self.tracer.emit(
-                        "executor.stall",
-                        worker=worker,
-                        silent_s=age,
-                        task=entry.get("task"),
-                        slots_done=entry.get("slots_done"),
-                    )
+        # Counter increments and tracer emission happen after the lock
+        # is released (see _ingest for why).
+        for info in stalls:
+            log.warning(
+                "worker %s stalled: no heartbeat for %.1fs "
+                "(task %s, %s/%s slots)",
+                info["worker"],
+                info["silent_s"],
+                info["task"],
+                info["slots_done"],
+                info["n_slots"],
+            )
+            if self._stalls is not None:
+                self._stalls.inc()
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    "executor.stall",
+                    worker=info["worker"],
+                    silent_s=info["silent_s"],
+                    task=info["task"],
+                    slots_done=info["slots_done"],
+                )
+
+    def retire_workers(self, reason: str = "pool-broken") -> list[str]:
+        """Mark every known worker retired (e.g. after the process pool
+        broke): phase becomes ``"retired"``, stall flags clear, and the
+        stall detector and rate aggregate skip the entries from now on.
+        The rows stay in :meth:`snapshot` so dashboards show what
+        happened instead of a forever-stalled ghost table."""
+        with self._lock:
+            retired = sorted(self.workers)
+            for entry in self.workers.values():
+                entry["phase"] = "retired"
+                entry["retired_reason"] = reason
+            self.stalled.clear()
+        if retired:
+            log.info("retired %d worker entr%s (%s)",
+                     len(retired), "y" if len(retired) == 1 else "ies", reason)
+        return retired
 
     # -- views --------------------------------------------------------
 
@@ -233,12 +277,19 @@ class HeartbeatMonitor:
             }
 
     def slots_per_s(self) -> float:
-        """Aggregate throughput across workers (0 when unknown)."""
+        """Aggregate throughput across workers (0 when unknown).
+
+        Stalled and retired workers are excluded — their last-known
+        rate describes a worker that is no longer making progress, and
+        counting it would keep a dead worker's throughput in the
+        aggregate forever.
+        """
         with self._lock:
             return float(
                 sum(
                     e.get("slots_per_s", 0.0) or 0.0
-                    for e in self.workers.values()
-                    if e.get("phase") not in ("run.end", "idle")
+                    for name, e in self.workers.items()
+                    if e.get("phase") not in ("run.end", "idle", "retired")
+                    and name not in self.stalled
                 )
             )

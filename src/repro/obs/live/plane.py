@@ -23,9 +23,17 @@ Channels fed by the engine (per-slot, cell-aggregated):
 ``delivered_kb``    media shipped this slot
 ``buffer_s``        mean client buffer level
 ``active_users``    resident population, sampled at each watch tick
+``outage_slots``    injected-fault slots per watch block (repro.faults)
 ``slots_per_s``     engine throughput (wall-clock EWMA; scalar channel)
 ``worker_stall_s``  max heartbeat silence across pool workers (parent)
 ==================  ====================================================
+
+``outage_slots`` counts the slots of each observation block with any
+injected fault window active (signal blackout, capacity outage, flow
+stall), so SLO rules can react to degraded-network conditions —
+``sum(outage_slots) < 500`` bounds total injected downtime, and
+``max(outage_slots) < 64`` fires when a whole watch block is dark.
+Healthy runs feed constant zeros.
 
 Determinism note: aggregates and rule evaluations depend only on the
 slot stream (reset per run, evaluated every ``watch_every`` slots), so
@@ -60,6 +68,7 @@ _RUN_CHANNELS = (
     "delivered_kb",
     "buffer_s",
     "active_users",
+    "outage_slots",
 )
 #: Channels carrying P² quantile sketches by default — the two the
 #: paper's constraints bound (rebuffering Omega, per-slot energy Phi).
@@ -212,6 +221,7 @@ class LiveTelemetry:
         delivered_kb: float,
         mean_buffer_s: float,
         active_users: int = 0,
+        outage_slots: int = 0,
     ) -> None:
         """One engine slot's cell-level aggregates (per-slot entry point)."""
         stats = self.stats
@@ -223,7 +233,7 @@ class LiveTelemetry:
         self._run_slots += 1
         if self._run_slots % self.watch_every:
             return
-        self._tick(slot, self.watch_every, active_users)
+        self._tick(slot, self.watch_every, active_users, outage_slots)
 
     def observe_block(
         self,
@@ -233,6 +243,7 @@ class LiveTelemetry:
         delivered_kb,
         mean_buffer_s,
         active_users: int = 0,
+        outage_slots: int = 0,
     ) -> None:
         """A block of consecutive slots, vectorized (the engine's path).
 
@@ -252,11 +263,14 @@ class LiveTelemetry:
         n = len(rebuffer_s)
         self.total_slots += n
         self._run_slots += n
-        self._tick(slot, n, active_users)
+        self._tick(slot, n, active_users, outage_slots)
 
-    def _tick(self, slot: int, n_slots: int, active_users: int) -> None:
+    def _tick(
+        self, slot: int, n_slots: int, active_users: int, outage_slots: int = 0
+    ) -> None:
         """Watchdog + heartbeat + export, once per observation block."""
         self.stats["active_users"].add(float(active_users))
+        self.stats["outage_slots"].add(float(outage_slots))
         now = time.monotonic()
         dt = now - self._last_tick
         self._last_tick = now

@@ -55,7 +55,7 @@ _OPS: dict[str, Callable[[float, float], bool]] = {
     "!=": lambda a, b: a != b,
 }
 
-_KNOWN_AGGS = ("mean", "std", "min", "max", "last", "value", "count")
+_KNOWN_AGGS = ("mean", "std", "min", "max", "last", "value", "count", "sum")
 
 
 @dataclass(frozen=True)

@@ -126,6 +126,19 @@ def batch_incompatibility(tasks) -> str | None:
     for t in tasks:
         if t.config.has_churn:
             return "dynamic session lifecycle (arrivals/admission) cannot be stacked"
+    if len(tasks) > 1:
+        # Fault plans thread through the *serial* engine only; letting
+        # a faulted run into the stacked loop would silently drop its
+        # injections.  Single-task plans are fine — BatchPlan runs
+        # singletons through the serial engine anyway.
+        from repro.faults import current_fault_plan
+
+        for t in tasks:
+            if t.config.faults is not None and not t.config.faults.is_empty:
+                return "fault plan attached (faults need the serial engine)"
+        ambient = current_fault_plan()
+        if ambient is not None and not ambient.is_empty:
+            return "ambient fault plan active (faults need the serial engine)"
     for name in _COMPAT_FIELDS:
         v0 = getattr(cfg0, name)
         for t in tasks[1:]:

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro import constants
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.net.slicing import BackgroundTraffic
 from repro.radio.profiles import RadioProfile, get_profile
 from repro.radio.signal import SignalModel, SinusoidSignalModel
@@ -84,6 +85,16 @@ class SimConfig:
         Concurrent-session cap for ``admission="capacity-threshold"``.
     admission_min_units_per_user:
         Per-user unit guarantee for ``admission="budget-aware"``.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injecting signal
+        blackouts, BS capacity outage/degradation windows, and per-flow
+        delivery stalls into the run.  ``None`` (default) is the
+        healthy-cell path, bit-identical to every prior release; the
+        plan draws nothing from the workload RNG, so attaching one
+        never perturbs the generated workload.  When ``None``, an
+        ambient plan installed with
+        :func:`repro.faults.use_fault_plan` applies instead
+        (``repro-experiments --faults``).
     kernel_backend:
         Kernel dispatch backend for the run: ``"numpy"``, ``"numba"``,
         ``"python"`` or ``"auto"`` (numba when importable).  ``None``
@@ -121,6 +132,7 @@ class SimConfig:
     admission: str = "accept-all"
     admission_max_active: int | None = None
     admission_min_units_per_user: int | None = None
+    faults: FaultPlan | None = None
     kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -141,6 +153,12 @@ class SimConfig:
         if self.buffer_capacity_s is not None and self.buffer_capacity_s <= 0:
             raise ConfigurationError("buffer_capacity_s must be positive")
         self._validate_lifecycle()
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigurationError(
+                    f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+                )
+            self.faults.validate_for(self.n_users)
         if self.kernel_backend is not None:
             from repro.kernels.backend import BACKEND_CHOICES
 

@@ -41,10 +41,11 @@ import numpy as np
 from repro.core.admission import AdmissionContext, make_admission_policy
 from repro.core.allocation import check_constraints
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults import current_fault_plan
 from repro.kernels import SlotArena, backend_info, use_backend
 from repro.media.fleet import ClientFleet
 from repro.media.player import StreamingClient
-from repro.net.basestation import BaseStation, ConstantCapacity
+from repro.net.basestation import BaseStation, ConstantCapacity, FaultyCapacity
 from repro.net.gateway import Gateway
 from repro.net.slicing import ResourceSlicer
 from repro.obs.instrument import Instrumentation, current_instrumentation
@@ -75,6 +76,54 @@ _TRACED_SCHEDULER_PARAMS = (
 #: live plane's ``watch_every``) so block accounting costs the hot loop
 #: a single comparison per slot.
 SPAN_BLOCK_SLOTS = 64
+
+
+def _emit_fault_windows(tracer, plan) -> None:
+    """One ``fault.window`` trace event per injected window, emitted at
+    run start so trace analysis sees the full plan before any slot."""
+    for w in plan.signal:
+        tracer.emit(
+            "fault.window",
+            fault="signal",
+            start_slot=w.start_slot,
+            n_slots=w.n_slots,
+            users=list(w.users) if w.users is not None else None,
+            level_dbm=w.level_dbm,
+        )
+    for w in plan.capacity:
+        tracer.emit(
+            "fault.window",
+            fault="capacity",
+            start_slot=w.start_slot,
+            n_slots=w.n_slots,
+            factor=w.factor,
+        )
+    for w in plan.stalls:
+        tracer.emit(
+            "fault.window",
+            fault="stall",
+            start_slot=w.start_slot,
+            n_slots=w.n_slots,
+            users=list(w.users),
+        )
+
+
+def _fault_counters(metrics, plan, outage_mask, gamma: int) -> None:
+    """Batch-derived ``fault.*`` counters (only created on faulted runs,
+    so healthy-path registries stay byte-identical to the seed)."""
+    metrics.counter("fault.outage_slots").inc(int(outage_mask.sum()))
+    if plan.signal:
+        metrics.counter("fault.signal_slots").inc(
+            int(plan.signal_slot_mask(gamma).sum())
+        )
+    if plan.capacity:
+        metrics.counter("fault.capacity_slots").inc(
+            int(plan.capacity_slot_mask(gamma).sum())
+        )
+    if plan.stalls:
+        metrics.counter("fault.stall_slots").inc(
+            int(plan.stall_slot_mask(gamma).sum())
+        )
 
 
 def _scheduler_trace_params(scheduler) -> dict:
@@ -184,6 +233,13 @@ class Simulation:
         radio = cfg.radio
         n, gamma = cfg.n_users, cfg.n_slots
 
+        # Fault injection: a plan on the config wins; otherwise the
+        # ambient plan (repro-experiments --faults) applies.  With
+        # neither, every fault hook below compiles to the historical
+        # no-op path — bit-identical to the seed behaviour.
+        plan = cfg.faults if cfg.faults is not None else current_fault_plan()
+        faults_on = plan is not None and not plan.is_empty
+
         # The hot loop appends perf_counter deltas to the profiler's raw
         # sample lists rather than entering a context manager per phase
         # per slot, and all registry accounting that can be derived from
@@ -257,7 +313,10 @@ class Simulation:
                 for flow in self.workload.flows
             ]
             arena = None
-        bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
+        cap_model = ConstantCapacity(cfg.capacity_kbps)
+        if faults_on and plan.capacity:
+            cap_model = FaultyCapacity(cap_model, plan.capacity_factors(gamma))
+        bs = BaseStation(cap_model, cfg.delta_kb, cfg.tau_s)
         slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
         gateway = Gateway(
             self.scheduler, bs, n, slicer=slicer, fetch_ahead_kb=cfg.fetch_ahead_kb
@@ -276,6 +335,17 @@ class Simulation:
 
         flows = self.workload.flows
         signal = self.workload.signal_dbm
+        if faults_on:
+            # Blackouts are applied to a *copy* of the generated trace
+            # (the workload object itself is shared across schedulers
+            # and must stay pristine), and the stall/outage masks are
+            # precomputed once — the slot loop pays one row lookup.
+            signal = plan.apply_signal(signal)
+            stall_grid = plan.stall_grid(gamma, n)
+            outage_mask = plan.outage_slot_mask(gamma)
+        else:
+            stall_grid = None
+            outage_mask = None
         arrivals = np.array([f.arrival_slot for f in flows], dtype=np.int64)
 
         scheduler_name = getattr(
@@ -300,7 +370,10 @@ class Simulation:
                     "t2_s": radio.rrc.t2_s,
                 },
                 params=_scheduler_trace_params(self.scheduler),
+                **({"faults": plan.spec()} if faults_on else {}),
             )
+            if faults_on:
+                _emit_fault_windows(tracer, plan)
         if live_on:
             live.begin_run(scheduler_name, n_slots=gamma, n_users=n)
             live_every = live.watch_every
@@ -357,6 +430,7 @@ class Simulation:
                     instrumentation=instr,
                     fleet=fleet,
                     arena=arena,
+                    stall_mask=stall_grid[slot] if stall_grid is not None else None,
                 )
                 check_constraints(phi, obs)
                 if use_fleet:
@@ -445,6 +519,11 @@ class Simulation:
                         delivered[live_start:end].sum(axis=1),
                         buffer_s[live_start:end].mean(axis=1),
                         active_users=int(active_rec[slot].sum()),
+                        outage_slots=(
+                            int(outage_mask[live_start:end].sum())
+                            if outage_mask is not None
+                            else 0
+                        ),
                     )
                     live_start = end
                 # One run;slots span per block of SPAN_BLOCK_SLOTS slots
@@ -528,6 +607,8 @@ class Simulation:
                 np.maximum(alloc * cfg.delta_kb - delivered, 0.0).sum()
             )
             metrics.counter("allocation.truncated_kb").inc(truncated)
+            if faults_on:
+                _fault_counters(metrics, plan, outage_mask, gamma)
         return SimulationResult(
             scheduler_name=scheduler_name,
             config=cfg,
@@ -558,6 +639,9 @@ class Simulation:
         cfg = self.config
         radio = cfg.radio
         n_sessions, gamma = cfg.n_users, cfg.n_slots
+
+        plan = cfg.faults if cfg.faults is not None else current_fault_plan()
+        faults_on = plan is not None and not plan.is_empty
 
         instrumented = instr is not None
         live = instr.live if instrumented else None
@@ -602,7 +686,10 @@ class Simulation:
         fleet = ClientFleet.with_capacity(capacity, cfg.tau_s, cfg.buffer_capacity_s)
         arena = SlotArena(capacity)
         rrc = RRCFleet(capacity, radio.rrc)
-        bs = BaseStation(ConstantCapacity(cfg.capacity_kbps), cfg.delta_kb, cfg.tau_s)
+        cap_model = ConstantCapacity(cfg.capacity_kbps)
+        if faults_on and plan.capacity:
+            cap_model = FaultyCapacity(cap_model, plan.capacity_factors(gamma))
+        bs = BaseStation(cap_model, cfg.delta_kb, cfg.tau_s)
         slicer = ResourceSlicer(cfg.background) if cfg.background else ResourceSlicer()
         gateway = Gateway(
             self.scheduler,
@@ -634,6 +721,16 @@ class Simulation:
 
         flows = self.workload.flows
         signal = self.workload.signal_dbm
+        if faults_on:
+            # Session-keyed injection: blackout/stall windows name
+            # *sessions*; the per-slot scatter below carries them into
+            # whatever row each session currently occupies.
+            signal = plan.apply_signal(signal)
+            stall_grid = plan.stall_grid(gamma, n_sessions)
+            outage_mask = plan.outage_slot_mask(gamma)
+        else:
+            stall_grid = None
+            outage_mask = None
         arrivals = np.array([f.arrival_slot for f in flows], dtype=np.int64)
 
         scheduler_name = getattr(
@@ -658,7 +755,10 @@ class Simulation:
                     "t2_s": radio.rrc.t2_s,
                 },
                 params=_scheduler_trace_params(self.scheduler),
+                **({"faults": plan.spec()} if faults_on else {}),
             )
+            if faults_on:
+                _emit_fault_windows(tracer, plan)
         if live_on:
             live.begin_run(scheduler_name, n_slots=gamma, n_users=n_sessions)
             live_every = live.watch_every
@@ -729,6 +829,14 @@ class Simulation:
                 arena.sig_dbm.fill(-110.0)
                 if occ.size:
                     arena.sig_dbm[occ] = signal[slot][sess_of]
+                if stall_grid is not None:
+                    # Session-keyed stall row gathered into row space;
+                    # the >= 0 mask discards the wrapped values fancy
+                    # indexing produces for vacant (-1) rows.
+                    stall_row = stall_grid[slot][mgr.row_session]
+                    stall_row &= mgr.row_session >= 0
+                else:
+                    stall_row = None
                 obs, phi, sent_kb = gateway.step(
                     slot,
                     arena.sig_dbm,
@@ -742,6 +850,7 @@ class Simulation:
                     arena=arena,
                     joined_mask=mgr.joined_mask,
                     departed_mask=mgr.departed_mask,
+                    stall_mask=stall_row,
                 )
                 check_constraints(phi, obs)
                 np.multiply(phi, cfg.delta_kb, out=arena.f8_tmp)
@@ -837,6 +946,11 @@ class Simulation:
                         delivered[live_start:end].sum(axis=1),
                         buffer_s[live_start:end].mean(axis=1),
                         active_users=int(mgr.active_count),
+                        outage_slots=(
+                            int(outage_mask[live_start:end].sum())
+                            if outage_mask is not None
+                            else 0
+                        ),
                     )
                     live_start = end
                 if spans_on and (
@@ -927,6 +1041,8 @@ class Simulation:
                 np.maximum(alloc * cfg.delta_kb - delivered, 0.0).sum()
             )
             metrics.counter("allocation.truncated_kb").inc(truncated)
+            if faults_on:
+                _fault_counters(metrics, plan, outage_mask, gamma)
         return SimulationResult(
             scheduler_name=scheduler_name,
             config=cfg,

@@ -58,22 +58,59 @@ longer than ``stall_after_s`` (default 30 s) as stalled —
 dashboard and metric exports.  Heartbeats are off by default
 (``heartbeat_s=None``) so pooled metrics stay byte-identical to
 serial ones; ``repro-experiments`` turns them on whenever the live
-plane is active and ``--jobs > 1``.  A pool broken by a crashed
-worker (e.g. OOM-killed) is logged and the batch retried serially
-before giving up.
+plane is active and ``--jobs > 1``.
+
+Resilience
+----------
+Pool dispatch submits tasks individually and collects them in task
+order, so one bad task never costs the sweep:
+
+* an unhandled exception in a worker is retried in-pool up to
+  ``task_retries`` times (``executor.task_retries`` counter), then run
+  serially in the parent;
+* ``task_timeout_s`` bounds the wait per task (measured from when the
+  parent starts collecting that task, so it covers queueing plus
+  execution); a timed-out task is cancelled where possible and run
+  serially (``executor.task_timeouts``);
+* a broken pool (worker OOM-killed or hard-crashed) no longer discards
+  the batch: results already completed are kept, the heartbeat table's
+  entries for the dead workers are retired
+  (:meth:`~repro.obs.live.HeartbeatMonitor.retire_workers`), and only
+  the unfinished tasks re-run serially (``executor.pool_breaks``,
+  ``executor.serial_fallbacks``).
+
+A task that falls back to serial execution runs under a private
+bundle mirroring the worker protocol, so its metrics/profiler/span
+state still merges in task order and the deterministic-merge contract
+survives the failure.  The ``executor.*`` failure counters are created
+lazily, only when a failure actually happens — a healthy pooled run's
+metric state stays byte-identical to a serial one.
+
+For testing this machinery (and chaos drills), ``worker_faults``
+accepts :class:`~repro.faults.WorkerFault` injectors that crash,
+raise, or delay specific task indices inside the workers; the parent
+serial fallback never injects, so every task ultimately completes.
+An ambient :class:`~repro.faults.FaultPlan` (installed with
+:func:`repro.faults.use_fault_plan`) is shipped to the workers and
+re-installed around each task, so ``repro-experiments --faults`` works
+under ``--jobs N``.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, WorkerFault, current_fault_plan, use_fault_plan
 from repro.obs.instrument import Instrumentation, current_instrumentation
 from repro.obs.provenance import config_hash
 from repro.sim.batch import batch_incompatibility, run_batch
@@ -117,6 +154,11 @@ _WORKER_WORKLOADS: dict[str, Workload] = {}
 #: pool initializer when the parent runs with heartbeats enabled.
 _WORKER_HEARTBEAT = None
 _WORKER_LIVE_SPEC: dict[str, Any] | None = None
+#: Worker-fault injectors and the ambient fault plan, shipped through
+#: the pool initializer (the parent's context stack does not cross the
+#: process boundary).
+_WORKER_FAULTS: tuple[WorkerFault, ...] = ()
+_WORKER_FAULT_PLAN: FaultPlan | None = None
 
 
 def _init_worker(
@@ -124,11 +166,17 @@ def _init_worker(
     heartbeat_queue=None,
     heartbeat_s: float = 1.0,
     live_spec: dict[str, Any] | None = None,
+    worker_faults: tuple[WorkerFault, ...] = (),
+    fault_plan_spec: dict[str, Any] | None = None,
 ) -> None:
-    global _WORKER_HEARTBEAT, _WORKER_LIVE_SPEC
+    global _WORKER_HEARTBEAT, _WORKER_LIVE_SPEC, _WORKER_FAULTS, _WORKER_FAULT_PLAN
     _WORKER_WORKLOADS.clear()
     _WORKER_WORKLOADS.update(workload_table)
     _WORKER_LIVE_SPEC = live_spec
+    _WORKER_FAULTS = tuple(worker_faults)
+    _WORKER_FAULT_PLAN = (
+        FaultPlan.from_spec(fault_plan_spec) if fault_plan_spec is not None else None
+    )
     if heartbeat_queue is not None:
         from repro.obs.live import HeartbeatEmitter
 
@@ -138,7 +186,40 @@ def _init_worker(
         _WORKER_HEARTBEAT = None
 
 
+def _maybe_worker_fault(task_index: int, attempt: int) -> None:
+    """Fire any armed injector for this (task, attempt) pair.
+
+    Runs *inside the pool worker*, before any simulation work.  The
+    parent's serial fallback never calls this, so an injected fault can
+    delay a batch but never fail it.
+    """
+    for fault in _WORKER_FAULTS:
+        if fault.task_index != task_index or attempt >= fault.times:
+            continue
+        if fault.kind == "delay":
+            time.sleep(fault.delay_s)
+        elif fault.kind == "raise":
+            raise RuntimeError(
+                f"injected worker fault: task {task_index} attempt {attempt}"
+            )
+        elif fault.kind == "crash":
+            os._exit(1)
+
+
+def _worker_fault_context():
+    """The shipped ambient fault plan, re-installed around one task."""
+    if _WORKER_FAULT_PLAN is not None:
+        return use_fault_plan(_WORKER_FAULT_PLAN)
+    return nullcontext()
+
+
 def _run_group(payload):
+    _maybe_worker_fault(payload[5], payload[6])
+    with _worker_fault_context():
+        return _run_group_inner(payload)
+
+
+def _run_group_inner(payload):
     """Worker entry for one batch group (``batch_size > 1`` pools).
 
     ``payload`` carries the group's configs/schedulers/workload keys in
@@ -152,7 +233,7 @@ def _run_group(payload):
     engine inside the worker (singleton groups, live plane attached)
     ship the worker bundle's whole state instead.
     """
-    configs, schedulers, wl_keys, instrumented, spans_on, group_index = payload
+    configs, schedulers, wl_keys, instrumented, spans_on, group_index = payload[:6]
     tasks = []
     for config, scheduler, wl_key in zip(configs, schedulers, wl_keys):
         if wl_key is not None:
@@ -205,7 +286,13 @@ def _run_group(payload):
 
 
 def _run_task(payload):
-    config, scheduler, wl_key, instrumented, spans_on, task_index = payload
+    _maybe_worker_fault(payload[5], payload[6])
+    with _worker_fault_context():
+        return _run_task_inner(payload)
+
+
+def _run_task_inner(payload):
+    config, scheduler, wl_key, instrumented, spans_on, task_index = payload[:6]
     if wl_key is not None:
         workload = _WORKER_WORKLOADS[wl_key]
     else:
@@ -282,6 +369,20 @@ class RunExecutor:
         ``R`` runs each concurrently.  Results and metrics stay
         bit-identical to ``batch_size=1``
         (``tests/integration/test_batch_equivalence.py``).
+    task_timeout_s:
+        Per-task result deadline for pool dispatch, measured from when
+        the parent starts collecting that task (covers queueing plus
+        execution).  A timed-out task is cancelled where possible and
+        re-run serially in the parent.  ``None`` (default) waits
+        forever, the historical behaviour.
+    task_retries:
+        In-pool resubmissions of a task whose worker raised, before
+        the parent gives up on the pool and runs it serially.  The
+        default ``1`` absorbs one transient failure per task.
+    worker_faults:
+        :class:`~repro.faults.WorkerFault` injectors installed in every
+        pool worker — chaos drills for the resilience machinery above.
+        Empty (default) in normal operation.
     """
 
     def __init__(
@@ -290,15 +391,33 @@ class RunExecutor:
         heartbeat_s: float | None = None,
         stall_after_s: float = 30.0,
         batch_size: int = 1,
+        task_timeout_s: float | None = None,
+        task_retries: int = 1,
+        worker_faults: Sequence[WorkerFault] = (),
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError("task_timeout_s must be positive")
+        if task_retries < 0:
+            raise ConfigurationError("task_retries must be >= 0")
+        for fault in worker_faults:
+            if not isinstance(fault, WorkerFault):
+                raise ConfigurationError(
+                    f"worker_faults entries must be WorkerFault, "
+                    f"got {type(fault).__name__}"
+                )
         self.jobs = int(jobs)
         self.heartbeat_s = float(heartbeat_s) if heartbeat_s is not None else None
         self.stall_after_s = float(stall_after_s)
         self.batch_size = int(batch_size)
+        self.task_timeout_s = (
+            float(task_timeout_s) if task_timeout_s is not None else None
+        )
+        self.task_retries = int(task_retries)
+        self.worker_faults = tuple(worker_faults)
 
     def map_runs(
         self,
@@ -370,6 +489,218 @@ class RunExecutor:
         groups.append(group)
         return groups
 
+    # -- pool resilience ----------------------------------------------
+
+    @staticmethod
+    def _ambient_plan_spec() -> dict[str, Any] | None:
+        """Picklable spec of the ambient fault plan, for worker shipping."""
+        plan = current_fault_plan()
+        if plan is None or plan.is_empty:
+            return None
+        return plan.spec()
+
+    @staticmethod
+    def _note_failure(instr: Instrumentation | None, name: str) -> None:
+        """Count one executor failure event.
+
+        Failure counters are created lazily — a healthy pooled run's
+        metric state must stay byte-identical to a serial run's, so the
+        executor only touches the registry when something actually
+        went wrong.
+        """
+        if instr is not None:
+            instr.metrics.counter(name).inc()
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        worker_fn,
+        payloads: list[tuple],
+        serial_fn,
+        monitor,
+        instr: Instrumentation | None,
+    ) -> list[tuple]:
+        """Submit every payload, collect results in task order.
+
+        Per-task failure handling (see the module docstring): timeout
+        and pool breakage fall straight back to ``serial_fn``; worker
+        exceptions are resubmitted up to ``task_retries`` times first.
+        Completed futures keep their results across a pool break, so
+        only unfinished tasks pay the serial re-run.
+        """
+        futures: list[Any] = []
+        broken = False
+        for payload in payloads:
+            try:
+                futures.append(pool.submit(worker_fn, payload))
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already broken/shut down: everything left runs
+                # serially via the None sentinel below.
+                futures.append(None)
+        outs: list[tuple] = []
+        for index, payload in enumerate(payloads):
+            attempt = 0
+            while True:
+                fut = futures[index]
+                if fut is None:
+                    outs.append(self._serial_fallback(index, serial_fn, instr))
+                    break
+                try:
+                    outs.append(fut.result(timeout=self.task_timeout_s))
+                    break
+                except FuturesTimeoutError:
+                    fut.cancel()
+                    self._note_failure(instr, "executor.task_timeouts")
+                    log.warning(
+                        "task %d produced no result within %.1fs; "
+                        "running it serially",
+                        index,
+                        self.task_timeout_s,
+                    )
+                    outs.append(self._serial_fallback(index, serial_fn, instr))
+                    break
+                except BrokenProcessPool:
+                    if not broken:
+                        broken = True
+                        self._note_failure(instr, "executor.pool_breaks")
+                        retired = (
+                            monitor.retire_workers() if monitor is not None else []
+                        )
+                        log.warning(
+                            "process pool broke at task %d; keeping "
+                            "completed results, re-running unfinished "
+                            "tasks serially (%d worker entr%s retired)",
+                            index,
+                            len(retired),
+                            "y" if len(retired) == 1 else "ies",
+                        )
+                    outs.append(self._serial_fallback(index, serial_fn, instr))
+                    break
+                except Exception as exc:
+                    if attempt < self.task_retries and not broken:
+                        attempt += 1
+                        self._note_failure(instr, "executor.task_retries")
+                        log.warning(
+                            "task %d failed in worker (%s); in-pool "
+                            "retry %d/%d",
+                            index,
+                            exc,
+                            attempt,
+                            self.task_retries,
+                        )
+                        resub = payload[:-1] + (attempt,)
+                        try:
+                            futures[index] = pool.submit(worker_fn, resub)
+                            continue
+                        except (BrokenProcessPool, RuntimeError):
+                            pass
+                    log.warning(
+                        "task %d failed in worker (%s); running it serially",
+                        index,
+                        exc,
+                    )
+                    outs.append(self._serial_fallback(index, serial_fn, instr))
+                    break
+        return outs
+
+    def _serial_fallback(self, index: int, serial_fn, instr):
+        self._note_failure(instr, "executor.serial_fallbacks")
+        return serial_fn(index)
+
+    def _serial_task(
+        self,
+        task: RunTask,
+        instr: Instrumentation | None,
+        spans_on: bool,
+        live_spec: dict[str, Any] | None,
+        wl_cache: dict[str, Workload],
+    ):
+        """Run one task in the parent, mirroring the worker protocol.
+
+        The run happens under a private bundle whose state is returned
+        in the same ``(result, metrics, samples, spans)`` shape a pool
+        worker ships, so the caller's task-order merge treats a
+        fallen-back task exactly like a pooled one.  No worker faults
+        are installed here — an injected fault can never make a batch
+        fail.
+        """
+        workload = self._resolve_workload(task, wl_cache)
+        if instr is None:
+            result = Simulation(task.config, task.scheduler, workload).run()
+            return result, None, None, None
+        sub = self._fallback_bundle(spans_on, live_spec)
+        result = Simulation(
+            task.config, task.scheduler, workload, instrumentation=sub
+        ).run()
+        return (
+            result,
+            sub.metrics.state(),
+            sub.profiler.raw_samples(),
+            sub.spans.state() if sub.spans is not None else None,
+        )
+
+    def _serial_group(
+        self,
+        group: list[RunTask],
+        instr: Instrumentation | None,
+        spans_on: bool,
+        live_spec: dict[str, Any] | None,
+        wl_cache: dict[str, Workload],
+    ):
+        """Group-shaped counterpart of :meth:`_serial_task`."""
+        from repro.sim.batch import BatchPlan
+
+        tasks = [
+            RunTask(t.config, t.scheduler, self._resolve_workload(t, wl_cache))
+            for t in group
+        ]
+        plan = BatchPlan(tasks)
+        if instr is None:
+            return plan.run(None), None, None, None
+        sub = self._fallback_bundle(spans_on, live_spec)
+        results = plan.run(sub)
+        metrics_payload = (
+            ("runs", plan.run_metric_states)
+            if plan.run_metric_states
+            else ("group", sub.metrics.state())
+        )
+        return (
+            results,
+            metrics_payload,
+            sub.profiler.raw_samples(),
+            sub.spans.state() if sub.spans is not None else None,
+        )
+
+    @staticmethod
+    def _resolve_workload(task: RunTask, wl_cache: dict[str, Workload]) -> Workload:
+        """The task's workload, generating (and caching) like a worker."""
+        if task.workload is not None:
+            return task.workload
+        key = config_hash(task.config)
+        workload = wl_cache.get(key)
+        if workload is None:
+            workload = generate_workload(task.config)
+            wl_cache[key] = workload
+        return workload
+
+    @staticmethod
+    def _fallback_bundle(
+        spans_on: bool, live_spec: dict[str, Any] | None
+    ) -> Instrumentation:
+        """A private bundle mirroring a worker's (NullTracer, private
+        live plane from the parent's spec, fresh span recorder)."""
+        live = None
+        if live_spec is not None:
+            from repro.obs.live import LiveTelemetry
+
+            live = LiveTelemetry.from_spec(live_spec)
+        spans = None
+        if spans_on:
+            from repro.obs.spans import SpanRecorder
+
+            spans = SpanRecorder()
+        return Instrumentation(live=live, spans=spans)
+
     def _map_pool(
         self, tasks: list[RunTask], instr: Instrumentation | None
     ) -> list[SimulationResult]:
@@ -395,7 +726,7 @@ class RunExecutor:
             if bind is not None:
                 bind(None)
             payloads.append(
-                (t.config, t.scheduler, wl_key, instrumented, spans_on, index)
+                (t.config, t.scheduler, wl_key, instrumented, spans_on, index, 0)
             )
 
         # Workers rebuild the parent's live plane from its picklable
@@ -403,6 +734,12 @@ class RunExecutor:
         # streams a serial execution would see (per-run aggregate reset
         # makes the alert counters merge back identically).
         live_spec = live.spec() if live is not None else None
+        wl_cache: dict[str, Workload] = {}
+
+        def serial_fn(index: int):
+            t = tasks[index]
+            return self._serial_task(t, instr, spans_on, live_spec, wl_cache)
+
         heartbeats_on = self.heartbeat_s is not None and instrumented
         manager = None
         monitor = None
@@ -423,34 +760,20 @@ class RunExecutor:
                 ).start()
                 if live is not None:
                     live.attach_monitor(monitor)
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(tasks)),
-                    initializer=_init_worker,
-                    initargs=(
-                        table,
-                        hb_queue,
-                        self.heartbeat_s or 1.0,
-                        live_spec,
-                    ),
-                ) as pool:
-                    outs = list(pool.map(_run_task, payloads))
-            except BrokenProcessPool as exc:
-                # A worker died (OOM kill, hard crash).  The batch is
-                # deterministic and side-effect free, so fall back to
-                # one serial retry rather than losing the whole sweep.
-                log.warning(
-                    "process pool broke (%s); retrying batch of %d "
-                    "task(s) serially",
-                    exc,
-                    len(tasks),
-                )
-                return [
-                    Simulation(
-                        t.config, t.scheduler, t.workload, instrumentation=instr
-                    ).run()
-                    for t in tasks
-                ]
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)),
+                initializer=_init_worker,
+                initargs=(
+                    table,
+                    hb_queue,
+                    self.heartbeat_s or 1.0,
+                    live_spec,
+                    self.worker_faults,
+                    self._ambient_plan_spec(),
+                ),
+            ) as pool:
+                outs = self._collect(pool, _run_task, payloads, serial_fn,
+                                     monitor, instr)
         finally:
             if monitor is not None:
                 monitor.stop()
@@ -509,10 +832,18 @@ class RunExecutor:
                     instrumented,
                     spans_on,
                     index,
+                    0,
                 )
             )
 
         live_spec = live.spec() if live is not None else None
+        wl_cache: dict[str, Workload] = {}
+
+        def serial_fn(index: int):
+            return self._serial_group(
+                groups[index], instr, spans_on, live_spec, wl_cache
+            )
+
         heartbeats_on = self.heartbeat_s is not None and instrumented
         manager = None
         monitor = None
@@ -531,40 +862,20 @@ class RunExecutor:
                 ).start()
                 if live is not None:
                     live.attach_monitor(monitor)
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(groups)),
-                    initializer=_init_worker,
-                    initargs=(
-                        table,
-                        hb_queue,
-                        self.heartbeat_s or 1.0,
-                        live_spec,
-                    ),
-                ) as pool:
-                    outs = list(pool.map(_run_group, payloads))
-            except BrokenProcessPool as exc:
-                log.warning(
-                    "process pool broke (%s); retrying %d batch group(s) "
-                    "serially",
-                    exc,
-                    len(groups),
-                )
-                results = []
-                for group in groups:
-                    if len(group) == 1:
-                        t = group[0]
-                        results.append(
-                            Simulation(
-                                t.config,
-                                t.scheduler,
-                                t.workload,
-                                instrumentation=instr,
-                            ).run()
-                        )
-                    else:
-                        results.extend(run_batch(group, instrumentation=instr))
-                return results
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(groups)),
+                initializer=_init_worker,
+                initargs=(
+                    table,
+                    hb_queue,
+                    self.heartbeat_s or 1.0,
+                    live_spec,
+                    self.worker_faults,
+                    self._ambient_plan_spec(),
+                ),
+            ) as pool:
+                outs = self._collect(pool, _run_group, payloads, serial_fn,
+                                     monitor, instr)
         finally:
             if monitor is not None:
                 monitor.stop()

@@ -235,6 +235,76 @@ class TestFaultInjection:
         assert set(report.skipped) >= {"buffer.non_negative", "allocation.capacity"}
 
 
+class TestFaultPlaneChecker:
+    """fault.injection verifies the trace honours its declared plan."""
+
+    PLAN = None  # built lazily; FaultPlan import kept local to the class
+
+    @classmethod
+    def _plan(cls):
+        from repro.faults import CapacityFault, FaultPlan, FlowStall, SignalBlackout
+
+        if cls.PLAN is None:
+            cls.PLAN = FaultPlan(
+                signal=(SignalBlackout(start_slot=10, n_slots=10),),
+                capacity=(CapacityFault(start_slot=30, n_slots=10),),
+                stalls=(FlowStall(start_slot=50, n_slots=10, users=(1, 3)),),
+            )
+        return cls.PLAN
+
+    def _faulted_timeline(self):
+        return traced_timeline(
+            DefaultScheduler(), cfg=small_config(faults=self._plan())
+        )
+
+    def test_faulted_run_is_clean(self):
+        tl = self._faulted_timeline()
+        assert tl.faults == self._plan().spec()
+        assert len(tl.fault_windows) == 3
+        report = check_invariants(tl)
+        assert "fault.injection" in report.checked
+        assert report.ok, report.render()
+
+    def test_healthy_run_skips_checker(self):
+        tl = traced_timeline(DefaultScheduler())
+        assert tl.faults is None
+        report = check_invariants(tl)
+        assert "no fault plan" in report.skipped["fault.injection"]
+
+    def test_delivery_to_stalled_flow_detected(self):
+        tl = self._faulted_timeline()
+        tl.grids["delivered_kb"][55, 3] = 120.0
+        report = check_invariants(tl)
+        coords = [
+            (v.slot, v.user)
+            for v in report.violations
+            if v.invariant == "fault.injection"
+        ]
+        assert (55, 3) in coords
+
+    def test_signal_grid_off_blackout_level_detected(self):
+        tl = self._faulted_timeline()
+        tl.grids["sig_dbm"][12, 0] += 40.0
+        report = check_invariants(tl)
+        coords = [
+            (v.slot, v.user)
+            for v in report.violations
+            if v.invariant == "fault.injection"
+        ]
+        assert (12, 0) in coords
+
+    def test_budget_in_outage_window_detected(self):
+        tl = self._faulted_timeline()
+        tl.totals["unit_budget"][33] = 50.0
+        report = check_invariants(tl)
+        slots = [
+            v.slot
+            for v in report.violations
+            if v.invariant == "fault.injection"
+        ]
+        assert 33 in slots
+
+
 class TestAnalyzeCli:
     def test_clean_run_exits_zero(self, traced_quickstart_dir, capsys):
         assert main([str(traced_quickstart_dir)]) == 0

@@ -108,6 +108,111 @@ class TestHeartbeatMonitor:
         monitor._ingest({"worker": "w-3", "phase": "idle", "slots_per_s": 999.0})
         assert monitor.slots_per_s() == pytest.approx(150.0)
 
+    def test_slots_per_s_excludes_stalled_workers(self):
+        # Regression: a stalled worker's last-known rate used to stay
+        # in the aggregate, overstating fleet throughput forever.
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=30.0)
+        monitor._ingest({"worker": "w-1", "phase": "slots", "slots_per_s": 100.0})
+        monitor._ingest({"worker": "w-2", "phase": "slots", "slots_per_s": 50.0})
+        monitor.stalled.add("w-1")
+        assert monitor.slots_per_s() == pytest.approx(50.0)
+
+    def test_task_change_clears_stale_progress(self):
+        # Regression: entry.update() carried slots_done/n_slots/
+        # slots_per_s over from the previous task, so a worker's first
+        # beat on a new task showed the *old* task's progress.
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=30.0)
+        monitor._ingest(
+            {
+                "worker": "w-1",
+                "phase": "slots",
+                "task": 0,
+                "slots_done": 900,
+                "n_slots": 1000,
+                "slots_per_s": 450.0,
+            }
+        )
+        monitor._ingest({"worker": "w-1", "phase": "task.start", "task": 1})
+        entry = monitor.snapshot()["workers"]["w-1"]
+        assert entry["task"] == 1
+        assert "slots_done" not in entry
+        assert "slots_per_s" not in entry
+        assert monitor.slots_per_s() == 0.0
+
+    def test_same_task_keeps_progress(self):
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=30.0)
+        monitor._ingest(
+            {"worker": "w-1", "phase": "slots", "task": 2, "slots_done": 10,
+             "n_slots": 100}
+        )
+        monitor._ingest({"worker": "w-1", "phase": "slots", "task": 2,
+                         "slots_done": 20})
+        entry = monitor.snapshot()["workers"]["w-1"]
+        assert entry["slots_done"] == 20
+        assert entry["n_slots"] == 100
+
+    def test_blocking_tracer_cannot_deadlock_drain(self):
+        """Regression: stall/resume events were emitted while holding
+        the monitor lock, so a tracer that itself reads the monitor
+        (e.g. a live exporter snapshotting the worker table) deadlocked
+        the drain thread.  Both events must land even when emit()
+        re-enters snapshot()."""
+
+        class SnapshottingTracer:
+            enabled = True
+
+            def __init__(self):
+                self.events = []
+                self.monitor = None
+
+            def emit(self, kind, /, **fields):
+                # Re-enter the monitor under its own lock path.
+                self.monitor.snapshot()
+                self.monitor.slots_per_s()
+                self.events.append({"kind": kind, **fields})
+
+        q = queue.Queue()
+        tracer = SnapshottingTracer()
+        monitor = HeartbeatMonitor(
+            q, stall_after_s=0.05, tracer=tracer, poll_s=0.01
+        )
+        tracer.monitor = monitor
+        emitter = HeartbeatEmitter(q, worker="w-1", every_s=0.0)
+        with monitor:
+            emitter.beat("slots", slots_done=1)
+            deadline = time.monotonic() + 5.0
+            while not monitor.stalled and time.monotonic() < deadline:
+                time.sleep(0.01)
+            emitter.beat("slots", slots_done=2)
+            kinds = lambda: [e["kind"] for e in tracer.events]  # noqa: E731
+            while "executor.resume" not in kinds() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert "executor.stall" in kinds()
+        assert "executor.resume" in kinds()
+
+    def test_retire_workers(self):
+        q = queue.Queue()
+        monitor = HeartbeatMonitor(q, stall_after_s=0.01, poll_s=0.01)
+        monitor._ingest({"worker": "w-1", "phase": "slots", "task": 0,
+                         "slots_per_s": 80.0})
+        monitor._ingest({"worker": "w-2", "phase": "slots", "task": 1,
+                         "slots_per_s": 20.0})
+        monitor.stalled.add("w-1")
+        retired = monitor.retire_workers("pool-broken")
+        assert retired == ["w-1", "w-2"]
+        assert not monitor.stalled
+        assert monitor.slots_per_s() == 0.0
+        snap = monitor.snapshot()
+        for name in ("w-1", "w-2"):
+            assert snap["workers"][name]["phase"] == "retired"
+            assert snap["workers"][name]["stalled"] is False
+        # Retired entries never re-enter stall detection.
+        monitor._check_stalls()
+        assert not monitor.stalled
+
 
 class TestExecutorHeartbeats:
     def test_pool_emits_heartbeats(self):

@@ -12,6 +12,7 @@ import pytest
 from repro.baselines import DefaultScheduler
 from repro.core.rtma import RTMAScheduler
 from repro.errors import ConfigurationError
+from repro.faults import CapacityFault, FaultPlan, WorkerFault, use_fault_plan
 from repro.obs import Instrumentation, use_instrumentation
 from repro.sim import (
     RunExecutor,
@@ -132,6 +133,133 @@ class TestExecutorAPI:
         wl = generate_workload(cfg)
         (res,) = map_runs([RunTask(cfg, DefaultScheduler(), wl)])
         assert res.pe_mj > 0
+
+
+class TestExecutorResilience:
+    """Per-task submit/collect: timeout, bounded retry, pool-break
+    partial recovery.  Faults are injected with WorkerFault; every
+    batch must still return results bit-identical to a serial run,
+    because the parent serial fallback never injects."""
+
+    def _tasks(self, n=4):
+        return [
+            RunTask(small_config(seed=s), DefaultScheduler()) for s in range(n)
+        ]
+
+    def _serial(self, n=4):
+        return RunExecutor(jobs=1).map_runs(self._tasks(n))
+
+    @staticmethod
+    def _executor_counters(instr):
+        return {
+            name: instr.metrics.counter(name).value
+            for name in instr.metrics.names()
+            if name.startswith("executor.")
+        }
+
+    def test_raise_fault_retries_in_pool(self):
+        instr = Instrumentation()
+        pooled = RunExecutor(
+            jobs=2, worker_faults=(WorkerFault("raise", task_index=1),)
+        ).map_runs(self._tasks(), instrumentation=instr)
+        for a, b in zip(self._serial(), pooled):
+            assert_results_bit_identical(a, b)
+        counters = self._executor_counters(instr)
+        assert counters == {"executor.task_retries": 1}
+
+    def test_crash_fault_partial_recovery(self):
+        instr = Instrumentation()
+        pooled = RunExecutor(
+            jobs=2, worker_faults=(WorkerFault("crash", task_index=2),)
+        ).map_runs(self._tasks(), instrumentation=instr)
+        for a, b in zip(self._serial(), pooled):
+            assert_results_bit_identical(a, b)
+        counters = self._executor_counters(instr)
+        assert counters["executor.pool_breaks"] == 1
+        assert counters["executor.serial_fallbacks"] >= 1
+
+    def test_delay_fault_trips_task_timeout(self):
+        instr = Instrumentation()
+        # delay >> timeout, but short enough that the pool's shutdown
+        # (which waits for the still-sleeping worker) stays quick.
+        pooled = RunExecutor(
+            jobs=2,
+            task_timeout_s=1.5,
+            worker_faults=(WorkerFault("delay", task_index=0, delay_s=6.0),),
+        ).map_runs(self._tasks(), instrumentation=instr)
+        for a, b in zip(self._serial(), pooled):
+            assert_results_bit_identical(a, b)
+        counters = self._executor_counters(instr)
+        assert counters["executor.task_timeouts"] == 1
+        assert counters["executor.serial_fallbacks"] == 1
+
+    def test_exhausted_retries_fall_back_serial(self):
+        instr = Instrumentation()
+        pooled = RunExecutor(
+            jobs=2,
+            task_retries=1,
+            worker_faults=(WorkerFault("raise", task_index=1, times=5),),
+        ).map_runs(self._tasks(), instrumentation=instr)
+        for a, b in zip(self._serial(), pooled):
+            assert_results_bit_identical(a, b)
+        counters = self._executor_counters(instr)
+        assert counters["executor.task_retries"] == 1
+        assert counters["executor.serial_fallbacks"] == 1
+
+    def test_crash_with_batch_groups(self):
+        instr = Instrumentation()
+        pooled = RunExecutor(
+            jobs=2,
+            batch_size=2,
+            worker_faults=(WorkerFault("crash", task_index=0),),
+        ).map_runs(self._tasks(), instrumentation=instr)
+        for a, b in zip(self._serial(), pooled):
+            assert_results_bit_identical(a, b)
+        assert self._executor_counters(instr)["executor.pool_breaks"] == 1
+
+    def test_healthy_run_creates_no_failure_counters(self):
+        instr = Instrumentation()
+        RunExecutor(jobs=2).map_runs(self._tasks(), instrumentation=instr)
+        assert self._executor_counters(instr) == {}
+
+    def test_engine_metrics_survive_fallback(self):
+        # The serial fallback merges a private bundle in task order, so
+        # engine counters still equal a serial run's despite the crash.
+        serial_instr = Instrumentation()
+        RunExecutor(jobs=1).map_runs(
+            self._tasks(), instrumentation=serial_instr
+        )
+        crash_instr = Instrumentation()
+        RunExecutor(
+            jobs=2, worker_faults=(WorkerFault("crash", task_index=2),)
+        ).map_runs(self._tasks(), instrumentation=crash_instr)
+        serial_counters = serial_instr.metrics.state()["counters"]
+        crash_counters = {
+            k: v
+            for k, v in crash_instr.metrics.state()["counters"].items()
+            if not k.startswith("executor.")
+        }
+        assert crash_counters == serial_counters
+
+    def test_ambient_fault_plan_crosses_pool(self):
+        plan = FaultPlan(capacity=(CapacityFault(start_slot=20, n_slots=10),))
+        with use_fault_plan(plan):
+            serial = RunExecutor(jobs=1).map_runs(self._tasks())
+            pooled = RunExecutor(jobs=2).map_runs(self._tasks())
+        for a, b in zip(serial, pooled):
+            assert_results_bit_identical(a, b)
+        healthy = self._serial()
+        assert (
+            serial[0].delivered_kb.tobytes() != healthy[0].delivered_kb.tobytes()
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunExecutor(task_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RunExecutor(task_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RunExecutor(worker_faults=("crash",))
 
 
 class TestRunnerOnExecutor:
